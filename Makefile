@@ -1,0 +1,36 @@
+# Convenience targets for the AB-ORAM reproduction.
+
+PYTEST ?= python -m pytest
+
+.PHONY: install test bench bench-full figures examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	$(PYTEST) tests/
+
+test-output:
+	$(PYTEST) tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTEST) benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTEST) benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Full-scale sweep (slow): all 17 SPEC benchmarks at a deeper tree.
+bench-full:
+	REPRO_BENCH_SUITE=all REPRO_BENCH_LEVELS=16 REPRO_BENCH_REQUESTS=2500 \
+	  $(PYTEST) benchmarks/ --benchmark-only
+
+figures:
+	python -m repro space
+	python -m repro sweep --schemes baseline dr ns ab
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

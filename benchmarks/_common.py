@@ -1,0 +1,115 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md's per-experiment index). Space numbers are computed
+on the paper's exact 24-level geometry; timing numbers run the
+trace-driven simulator on a scaled-down tree (default 14 levels -- the
+level ranges of every scheme scale with the tree, so per-level capacity
+fractions and therefore the result *shapes* are preserved).
+
+Environment knobs:
+
+- ``REPRO_BENCH_LEVELS``   tree levels for timing runs (default 14)
+- ``REPRO_BENCH_REQUESTS`` trace length per run (default 1000)
+- ``REPRO_BENCH_WARMUP``   warm-up requests excluded from measurement
+  (default: a third of the trace)
+- ``REPRO_BENCH_SUITE``    comma-separated benchmark subset (default:
+  a representative 6-benchmark slice; set to "all" for the full 17)
+
+Each benchmark prints its paper-style rows (run pytest with ``-s`` to
+see them live) and also writes them to ``benchmarks/out/<name>.txt`` so
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import schemes
+from repro.sim import SimConfig
+from repro.sim.results import SimResult, geomean
+from repro.sim.runner import run_suite
+from repro.traces.spec import spec_benchmarks
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+#: Representative slice: the memory-bound outlier (mcf), heavy writers
+#: (lbm, xz), mixed (x264), and low-MPKI compute-bound codes (gcc, nab).
+DEFAULT_BENCHES = ["mcf", "lbm", "xz", "x264", "gcc", "nab"]
+
+
+def bench_levels() -> int:
+    return int(os.environ.get("REPRO_BENCH_LEVELS", "14"))
+
+
+def bench_requests() -> int:
+    return int(os.environ.get("REPRO_BENCH_REQUESTS", "1000"))
+
+
+def bench_warmup() -> int:
+    default = bench_requests() // 3
+    return int(os.environ.get("REPRO_BENCH_WARMUP", str(default)))
+
+
+def bench_suite() -> List[str]:
+    raw = os.environ.get("REPRO_BENCH_SUITE")
+    if not raw:
+        return list(DEFAULT_BENCHES)
+    if raw.strip().lower() == "all":
+        return spec_benchmarks()
+    return [b.strip() for b in raw.split(",") if b.strip()]
+
+
+def sim_config(seed: int = 0) -> SimConfig:
+    return SimConfig(seed=seed, warmup_requests=bench_warmup())
+
+
+def run_main_matrix(
+    benchmarks: Optional[Sequence[str]] = None,
+    suite: str = "spec",
+    seed: int = 0,
+    levels: Optional[int] = None,
+    scheme_list=None,
+) -> Dict[str, Dict[str, SimResult]]:
+    """Scheme x benchmark sweep at the bench scale."""
+    lv = levels or bench_levels()
+    cfgs = scheme_list if scheme_list is not None else schemes.main_schemes(lv)
+    return run_suite(
+        cfgs,
+        suite=suite,
+        benchmarks=list(benchmarks) if benchmarks else bench_suite(),
+        n_requests=bench_requests(),
+        seed=seed,
+        sim=sim_config(seed),
+    )
+
+
+def normalized_geomean(
+    results: Dict[str, Dict[str, SimResult]],
+    metric: str = "exec_ns",
+    baseline: str = "Baseline",
+) -> Dict[str, float]:
+    """Geomean-over-benchmarks of metric normalized to the baseline."""
+    base = results[baseline]
+    out = {}
+    for scheme, by_trace in results.items():
+        out[scheme] = geomean([
+            getattr(r, metric) / getattr(base[t], metric)
+            for t, r in by_trace.items()
+        ])
+    return out
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's text and persist it under benchmarks/out/."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,84 @@
+"""Ablation: the two S-extension strategies of section V-C1.
+
+The paper describes two ways to exploit remote allocation and picks
+strategy (2) for AB-ORAM:
+
+- **strategy (1)** (``DR-perf``): allocate the baseline's Z = 8 and
+  extend sustain to 9 at runtime -- no space saving, fewer
+  earlyReshuffles (a performance play);
+- **strategy (2)** (``DR``): allocate Z = 6 and extend sustain back to
+  the baseline's 7 -- 25% space saving at roughly baseline reshuffle
+  rates.
+
+This ablation measures both against the Baseline and checks the
+trade-off the paper asserts when choosing between them.
+"""
+
+import numpy as np
+import pytest
+
+from _common import bench_levels, bench_requests, emit, once, sim_config
+from repro.analysis.report import render_mapping_table
+from repro.core import schemes
+from repro.sim import simulate
+from repro.traces.spec import spec_trace
+
+
+def _levels():
+    # Reshuffle-rate differences need several evictPath rounds.
+    return max(8, bench_levels() - 4)
+
+
+def test_ablation_extension_strategies(benchmark):
+    lv = _levels()
+    cfgs = {
+        "Baseline": schemes.baseline_cb(lv),
+        "DR-perf": schemes.dr_perf_scheme(lv),
+        "DR": schemes.dr_scheme(lv),
+    }
+    n = max(4 * cfgs["Baseline"].n_leaves * cfgs["Baseline"].evict_rate,
+            2 * bench_requests())
+    trace = spec_trace("mcf", cfgs["Baseline"].n_real_blocks, n, seed=41)
+
+    def run():
+        return {name: simulate(c, trace, sim_config(41))
+                for name, c in cfgs.items()}
+
+    results = once(benchmark, run)
+
+    base = results["Baseline"]
+    band = slice(lv - 6, lv)
+    rows = []
+    for name, r in results.items():
+        reshuffles = np.array(r.reshuffles_by_level, dtype=float)
+        base_resh = np.array(base.reshuffles_by_level, dtype=float)
+        rows.append({
+            "scheme": name,
+            "space_norm": r.tree_bytes / base.tree_bytes,
+            "early_reshuffles": (
+                r.ops_by_kind["earlyReshuffle"]
+                / max(1, base.ops_by_kind["earlyReshuffle"])
+            ),
+            "band_reshuffles": reshuffles[band].sum() / base_resh[band].sum(),
+            "exec_norm": r.exec_ns / base.exec_ns,
+            "ext_ratio": r.extension_ratio,
+        })
+    emit(
+        "ablation_strategy1",
+        render_mapping_table(
+            rows,
+            title=("Section V-C1 strategies: (1) extend beyond baseline "
+                   "(DR-perf) vs (2) shrink then recover (DR)"),
+        ),
+    )
+
+    by = {r["scheme"]: r for r in rows}
+    # Strategy (1): no space saving, strictly fewer early reshuffles.
+    assert by["DR-perf"]["space_norm"] == pytest.approx(1.0, abs=1e-9)
+    assert by["DR-perf"]["early_reshuffles"] < 1.0
+    # Strategy (2): the paper's 25% saving, reshuffles near baseline.
+    assert by["DR"]["space_norm"] == pytest.approx(0.754, abs=0.01)
+    assert by["DR"]["band_reshuffles"] < 1.6
+    # Both rely on the DeadQ successfully granting extensions.
+    assert by["DR-perf"]["ext_ratio"] > 0.5
+    assert by["DR"]["ext_ratio"] > 0.5

@@ -1,0 +1,76 @@
+"""Fig. 2: dead blocks over time.
+
+The paper tracks the total number of dead blocks as execution
+progresses: the population rises quickly at first (readPaths kill L
+slots each while early reshuffles are still rare) and then plateaus
+once dead blocks spread across all paths. This benchmark replays that
+experiment on the Baseline scheme for three benchmarks plus their
+average, exactly as the paper's figure reports, and asserts the
+rise-then-plateau shape.
+"""
+
+import numpy as np
+
+from _common import bench_levels, bench_requests, emit, once
+from repro.analysis.deadblocks import DeadBlockCensus
+from repro.analysis.report import render_series
+from repro.core import schemes
+from repro.core.ab_oram import build_oram
+from repro.traces.spec import spec_trace
+
+# Dead-block steady state needs many reshuffle rounds over the
+# leaves; a slightly smaller tree with proportionally more accesses
+# reaches the paper's plateau in reasonable wall time.
+def _levels():
+    return max(8, bench_levels() - 4)
+
+BENCHES = ["mcf", "lbm", "x264"]
+
+
+def _run_one(cfg, bench, n_requests, interval):
+    trace = spec_trace(bench, cfg.n_real_blocks, n_requests, seed=11)
+    oram = build_oram(cfg, seed=11)
+    oram.warm_fill()
+    census = DeadBlockCensus(interval=interval).attach(oram)
+    for req in trace:
+        oram.access(req.block, write=req.write)
+    return census
+
+
+def test_fig02_dead_blocks_over_time(benchmark):
+    cfg = schemes.baseline_cb(_levels())
+    n = max(4 * cfg.n_leaves, bench_requests())
+    interval = max(1, n // 20)
+
+    def run():
+        return {b: _run_one(cfg, b, n, interval) for b in BENCHES}
+
+    censuses = once(benchmark, run)
+
+    series = {}
+    for bench, census in censuses.items():
+        series[bench] = {x: d for x, d in census.samples}
+    xs = sorted(next(iter(series.values())).keys())
+    series["average"] = {
+        x: float(np.mean([series[b][x] for b in BENCHES])) for x in xs
+    }
+    emit(
+        "fig02_dead_blocks_over_time",
+        render_series(
+            "online_accesses",
+            series,
+            title=(f"Fig 2: dead blocks over time (Baseline, L={cfg.levels}; "
+                   "paper shape: fast rise, then plateau)"),
+            precision=0,
+        ),
+    )
+
+    for bench, census in censuses.items():
+        pops = [d for _, d in census.samples]
+        early = np.mean(pops[: max(1, len(pops) // 5)])
+        late = census.stabilized_population
+        assert late > early, f"{bench}: population did not grow"
+        tail = pops[-5:]
+        assert max(tail) - min(tail) < 0.5 * late + 50, (
+            f"{bench}: population did not stabilize"
+        )

@@ -1,0 +1,79 @@
+"""Fig. 7: empirical security -- attacker success rate.
+
+The paper simulates an attacker that, for every readPath, guesses which
+of the L fetched blocks is the real one. Over a billion traces the rate
+is 1/24 = 0.041666 for both Baseline and AB-ORAM. We run the same
+experiment at bench scale over several benchmarks and assert that (a)
+both schemes sit at 1/L and (b) AB's advantage over Baseline is
+statistically negligible.
+"""
+
+import numpy as np
+import pytest
+
+from _common import bench_levels, bench_requests, emit, once
+from repro.analysis.report import render_mapping_table
+from repro.core import schemes
+from repro.core.ab_oram import build_oram
+from repro.core.security import GuessingAttacker
+from repro.traces.spec import spec_trace
+
+BENCHES = ["mcf", "x264", "lbm", "gcc"]
+
+
+def _attack(cfg, bench, n, seed):
+    attacker = GuessingAttacker(cfg.levels, seed=seed)
+    oram = build_oram(cfg, seed=seed, observers=[attacker])
+    oram.warm_fill()
+    trace = spec_trace(bench, cfg.n_real_blocks, n, seed=seed)
+    for req in trace:
+        oram.access(req.block, write=req.write)
+    return attacker
+
+
+def test_fig07_attacker_success_rate(benchmark):
+    lv = bench_levels()
+    base_cfg = schemes.baseline_cb(lv)
+    ab_cfg = schemes.ab_scheme(lv)
+    n = max(1500, bench_requests())
+
+    def run():
+        out = {}
+        for bench in BENCHES:
+            out[bench] = {
+                "Baseline": _attack(base_cfg, bench, n, seed=17),
+                "AB": _attack(ab_cfg, bench, n, seed=17),
+            }
+        return out
+
+    attackers = once(benchmark, run)
+
+    rows = []
+    for bench, pair in attackers.items():
+        rows.append({
+            "benchmark": bench,
+            "baseline_rate": pair["Baseline"].success_rate,
+            "ab_rate": pair["AB"].success_rate,
+            "expected_1_over_L": 1.0 / lv,
+        })
+    rows.append({
+        "benchmark": "average",
+        "baseline_rate": float(np.mean([r["baseline_rate"] for r in rows])),
+        "ab_rate": float(np.mean([r["ab_rate"] for r in rows])),
+        "expected_1_over_L": 1.0 / lv,
+    })
+    emit(
+        "fig07_security",
+        render_mapping_table(
+            rows,
+            title=(f"Fig 7: attacker success rate (L={lv}; paper: both "
+                   "schemes at 1/L = 1/24 = 0.041666 for L=24)"),
+            precision=4,
+        ),
+    )
+
+    avg = rows[-1]
+    tol = 3.5 / np.sqrt(len(BENCHES) * n)  # ~3.5 sigma of a Bernoulli mean
+    assert avg["baseline_rate"] == pytest.approx(1 / lv, abs=tol)
+    assert avg["ab_rate"] == pytest.approx(1 / lv, abs=tol)
+    assert abs(avg["ab_rate"] - avg["baseline_rate"]) < 2 * tol

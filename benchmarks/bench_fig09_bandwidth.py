@@ -1,0 +1,44 @@
+"""Fig. 9: bandwidth impact of AB-ORAM.
+
+The paper reports that AB increases memory bandwidth usage by ~1% on
+average (the cost of remote redirections and extra reshuffles is mostly
+offset by cheaper evictPaths). We measure bytes transferred per online
+access, normalized to Baseline, per benchmark.
+"""
+
+import pytest
+
+from _common import emit, normalized_geomean, once, run_main_matrix
+from repro.analysis.report import render_mapping_table
+
+
+def test_fig09_bandwidth_impact(benchmark):
+    matrix = once(benchmark, lambda: run_main_matrix(seed=9))
+
+    base = matrix["Baseline"]
+    rows = []
+    for bench in base:
+        row = {"benchmark": bench}
+        for scheme in ("Baseline", "DR", "NS", "AB"):
+            r = matrix[scheme][bench]
+            per_access = r.bytes_transferred / r.requests
+            base_pa = base[bench].bytes_transferred / base[bench].requests
+            row[scheme] = per_access / base_pa
+        rows.append(row)
+    gm = normalized_geomean(matrix, "bytes_transferred")
+    rows.append({"benchmark": "geomean",
+                 **{k: gm[k] for k in ("Baseline", "DR", "NS", "AB")}})
+    emit(
+        "fig09_bandwidth",
+        render_mapping_table(
+            rows,
+            title=("Fig 9: bytes per access normalized to Baseline "
+                   "(paper: AB ~ +1%)"),
+        ),
+    )
+
+    # AB's bandwidth demand stays within a few percent of Baseline.
+    assert gm["AB"] == pytest.approx(1.0, abs=0.10)
+    # And every individual benchmark stays close too.
+    for row in rows[:-1]:
+        assert row["AB"] == pytest.approx(1.0, abs=0.15), row

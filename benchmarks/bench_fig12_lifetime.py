@@ -1,0 +1,65 @@
+"""Fig. 12: dead-block lifetime across tree levels.
+
+Lifetime = online accesses between a slot's death (the readPath that
+consumed it) and the reuse of its space (reshuffle rewrite or remote
+rental). The paper's key observation: levels near the root have
+lifetimes close to zero, while leaf levels hold dead blocks for orders
+of magnitude longer -- which is why DeadQ queues only track the bottom
+levels, one queue per level.
+"""
+
+import numpy as np
+
+from _common import bench_levels, bench_requests, emit, once
+from repro.analysis.deadblocks import LifetimeTracker
+from repro.analysis.report import render_mapping_table
+from repro.core import schemes
+from repro.core.ab_oram import build_oram
+from repro.traces.spec import spec_trace
+
+
+def _levels():
+    # Lifetimes need several reshuffle rounds per leaf bucket.
+    return max(8, bench_levels() - 4)
+
+
+def test_fig12_dead_block_lifetime(benchmark):
+    cfg = schemes.baseline_cb(_levels())
+    n = max(8 * cfg.n_leaves, 2 * bench_requests())
+
+    def run():
+        tracker = LifetimeTracker(cfg.levels)
+        oram = build_oram(cfg, seed=12, observers=[tracker])
+        oram.warm_fill()
+        trace = spec_trace("mcf", cfg.n_real_blocks, n, seed=12)
+        for req in trace:
+            oram.access(req.block, write=req.write)
+        return tracker
+
+    tracker = once(benchmark, run)
+
+    rows = tracker.rows()
+    emit(
+        "fig12_lifetime",
+        render_mapping_table(
+            rows,
+            title=(f"Fig 12: dead-block lifetime per level in online accesses "
+                   f"(Baseline, L={cfg.levels}, {n} accesses; paper: top/middle "
+                   "levels ~0, leaves orders of magnitude longer)"),
+            precision=1,
+        ),
+    )
+
+    by_level = {r["level"]: r for r in rows}
+    levels_seen = sorted(by_level)
+    assert levels_seen, "no lifetimes recorded"
+    # Per-row sanity.
+    for r in rows:
+        assert 0 <= r["min"] <= r["avg"] <= r["max"]
+    # Root-side levels are reclaimed much faster than leaf-side levels.
+    top = by_level[levels_seen[0]]["avg"]
+    leaf = by_level[levels_seen[-1]]["avg"]
+    assert leaf > 4 * max(top, 1.0)
+    # Average lifetime grows (weakly) toward the leaves.
+    avgs = [by_level[l]["avg"] for l in levels_seen]
+    assert avgs[-1] == max(avgs)

@@ -1,0 +1,69 @@
+"""Fig. 13: design exploration of NS (Ly-Sx grid).
+
+Ly-Sx shrinks S by x for the last y levels on top of the CB baseline.
+The paper explores the grid, finds aggressive corners (L3-S3) degrade
+performance, and picks L2-S2 for standalone NS and L3-S1 for AB.
+Space is exact at L=24; slowdown simulated at the bench scale.
+"""
+
+import pytest
+
+from _common import bench_levels, bench_requests, emit, once, sim_config
+from repro.analysis.report import render_mapping_table
+from repro.core import schemes
+from repro.sim import simulate
+from repro.traces.spec import spec_trace
+
+GRID = [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (2, 3), (3, 1), (3, 2), (3, 3)]
+
+
+def test_fig13_ns_design_exploration(benchmark):
+    lv = bench_levels()
+    base = schemes.baseline_cb(lv)
+    trace = spec_trace("mcf", base.n_real_blocks, bench_requests(), seed=13)
+
+    def run():
+        out = {"Baseline": simulate(base, trace, sim_config(13))}
+        for y, x in GRID:
+            cfg = schemes.ns_scheme(lv, bottom=y, reduce_by=x)
+            out[(y, x)] = simulate(cfg, trace, sim_config(13))
+        return out
+
+    results = once(benchmark, run)
+
+    base24 = schemes.baseline_cb(24).tree_bytes
+    rows = []
+    for y, x in GRID:
+        rows.append({
+            "config": f"L{y}-S{x}",
+            "space_norm_L24": schemes.ns_scheme(24, bottom=y,
+                                                reduce_by=x).tree_bytes / base24,
+            "slowdown": results[(y, x)].exec_ns / results["Baseline"].exec_ns,
+        })
+    emit(
+        "fig13_ns_exploration",
+        render_mapping_table(
+            rows,
+            title=("Fig 13: NS design exploration Ly-Sx (paper picks L2-S2 "
+                   "for NS and L3-S1 for AB)"),
+        ),
+    )
+
+    by_cfg = {r["config"]: r for r in rows}
+    # Space: deeper/stronger shrinking saves monotonically more.
+    assert (by_cfg["L1-S1"]["space_norm_L24"]
+            > by_cfg["L2-S2"]["space_norm_L24"]
+            > by_cfg["L3-S3"]["space_norm_L24"])
+    # L2-S2 is the paper's NS: 0.8125 of baseline.
+    assert by_cfg["L2-S2"]["space_norm_L24"] == pytest.approx(0.8125, abs=0.003)
+    # S cannot shrink below zero: L?-S3 equals removing all S=3.
+    assert by_cfg["L3-S3"]["space_norm_L24"] == pytest.approx(
+        1 - 0.875 * 3 / 8, abs=0.005
+    )
+    # Every grid point stays within a modest performance band.
+    for r in rows:
+        assert r["slowdown"] < 1.2, r
+    # More aggressive shrinking never helps latency dramatically: the
+    # grid spans a narrow band (trade-off, not a free lunch).
+    slows = [r["slowdown"] for r in rows]
+    assert max(slows) - min(slows) < 0.25

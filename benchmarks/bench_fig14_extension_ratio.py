@@ -1,0 +1,105 @@
+"""Fig. 14: AB-ORAM's capability of extending the S value.
+
+The extension ratio = granted / attempted S extensions at reshuffle
+time. The paper measures ~100% for standalone DR (dead blocks are
+abundant) and ~74% for AB (NS has already removed most reserved
+dummies, so fewer dead blocks are available), and notes the ratio is
+application-independent. We reproduce both the DR > AB gap and the
+cross-benchmark stability.
+"""
+
+import numpy as np
+
+from _common import bench_levels, bench_requests, emit, once, sim_config
+from repro.analysis.report import render_mapping_table
+from repro.core import schemes
+from repro.sim import simulate
+from repro.traces.spec import spec_trace
+
+BENCHES = ["mcf", "lbm", "x264", "gcc"]
+
+
+def _levels():
+    # The ratio converges once the DeadQs have seen a few rounds of the
+    # bottom levels; a smaller tree gets there within the bench budget.
+    return max(8, bench_levels() - 4)
+
+
+def test_fig14_extension_ratio(benchmark):
+    lv = _levels()
+    dr_cfg = schemes.dr_scheme(lv)
+    ab_cfg = schemes.ab_scheme(lv)
+    n = max(6 * dr_cfg.n_leaves, 2 * bench_requests())
+
+    def run():
+        out = {}
+        for bench in BENCHES:
+            trace = spec_trace(bench, dr_cfg.n_real_blocks, n, seed=14)
+            out[bench] = {
+                "DR": simulate(dr_cfg, trace, sim_config(14)),
+                "AB": simulate(ab_cfg, trace, sim_config(14)),
+            }
+        return out
+
+    results = once(benchmark, run)
+
+    rows = []
+    for bench, pair in results.items():
+        rows.append({
+            "benchmark": bench,
+            "DR": pair["DR"].extension_ratio,
+            "AB": pair["AB"].extension_ratio,
+        })
+    rows.append({
+        "benchmark": "average",
+        "DR": float(np.mean([r["DR"] for r in rows])),
+        "AB": float(np.mean([r["AB"] for r in rows])),
+    })
+    emit(
+        "fig14_extension_ratio",
+        render_mapping_table(
+            rows,
+            title=(f"Fig 14: S-extension success ratio (L={lv}, {n} accesses; "
+                   "paper: DR ~100%, AB ~74%, application-independent)"),
+        ),
+    )
+
+    avg = rows[-1]
+    # DR grants nearly always; AB grants clearly less.
+    assert avg["DR"] > 0.75
+    assert avg["AB"] < avg["DR"]
+    assert avg["AB"] > 0.3
+    # Application independence: tight spread across benchmarks.
+    dr_spread = max(r["DR"] for r in rows[:-1]) - min(r["DR"] for r in rows[:-1])
+    ab_spread = max(r["AB"] for r in rows[:-1]) - min(r["AB"] for r in rows[:-1])
+    assert dr_spread < 0.15
+    assert ab_spread < 0.15
+
+    # Supplementary: dead-slot scarcity widens the DR-AB gap. At the
+    # paper's scale a 1000-entry DeadQ serves ~8M leaf buckets; at
+    # bench scale it serves a few hundred, so supply is abundant and
+    # both ratios sit near 1. Shrinking the queue reproduces the
+    # paper's regime (DR stays higher, AB drops further).
+    sweep_rows = []
+    trace = spec_trace("mcf", dr_cfg.n_real_blocks, n, seed=14)
+    for cap in (1000, 8, 4, 2):
+        dr_r = simulate(schemes.dr_scheme(lv, deadq_capacity=cap), trace,
+                        sim_config(14))
+        ab_r = simulate(schemes.ab_scheme(lv, deadq_capacity=cap), trace,
+                        sim_config(14))
+        sweep_rows.append({"deadq_capacity": cap,
+                           "DR": dr_r.extension_ratio,
+                           "AB": ab_r.extension_ratio})
+    emit(
+        "fig14_extension_ratio_scarcity",
+        render_mapping_table(
+            sweep_rows,
+            title=("Fig 14 (supplement): extension ratio vs DeadQ "
+                   "capacity (scarcity regime; paper's point: DR ~1.0, "
+                   "AB ~0.74)"),
+        ),
+    )
+    for row in sweep_rows:
+        assert row["DR"] >= row["AB"] - 0.02, row
+    # Under scarcity AB clearly drops below DR's near-full ratio.
+    assert sweep_rows[-1]["AB"] < sweep_rows[0]["AB"] - 0.2

@@ -1,0 +1,54 @@
+"""Fig. 15: generalizability over PARSEC.
+
+The paper repeats the main experiment on PARSEC: space savings are
+identical (they are application-independent geometry), and the
+performance overheads stay at DR ~3% / AB ~4% / NS ~0%.
+"""
+
+import pytest
+
+from _common import emit, normalized_geomean, once, run_main_matrix
+from repro.analysis.report import render_mapping_table
+from repro.analysis.space import normalized_space
+from repro.core import schemes
+
+PARSEC_SLICE = ["canneal", "streamcluster", "dedup", "swaptions",
+                "fluidanimate", "vips"]
+
+
+def test_fig15_parsec_generalizability(benchmark):
+    matrix = once(
+        benchmark,
+        lambda: run_main_matrix(benchmarks=PARSEC_SLICE, suite="parsec",
+                                seed=15),
+    )
+
+    base = matrix["Baseline"]
+    rows = []
+    for bench in base:
+        row = {"benchmark": bench}
+        for scheme, by_trace in matrix.items():
+            row[scheme] = by_trace[bench].exec_ns / base[bench].exec_ns
+        rows.append(row)
+    gm = normalized_geomean(matrix, "exec_ns")
+    rows.append({"benchmark": "geomean", **gm})
+    emit(
+        "fig15_parsec",
+        render_mapping_table(
+            rows,
+            title=("Fig 15: PARSEC normalized execution time (paper: "
+                   "NS ~Baseline, DR +3%, AB +4%; space identical to SPEC)"),
+        ),
+    )
+
+    # Space saving is application-independent: same exact ratios.
+    norm = normalized_space(schemes.main_schemes(24))
+    assert norm["AB"] == pytest.approx(0.645, abs=0.003)
+    # Performance band matches the SPEC run.
+    for scheme in ("DR", "NS", "AB"):
+        assert 0.85 < gm[scheme] < 1.15, f"{scheme}: {gm[scheme]}"
+    # Cross-suite consistency: per-benchmark ratios deviate little
+    # from their geomean (generalizability).
+    for row in rows[:-1]:
+        for scheme in ("DR", "NS", "AB"):
+            assert abs(row[scheme] - gm[scheme]) < 0.08, (scheme, row)

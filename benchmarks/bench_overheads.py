@@ -1,0 +1,45 @@
+"""Section VIII-H: storage overheads of AB-ORAM.
+
+On-chip: the DeadQ queues (six levels x 1000 entries of
+{slotAddr, slotInd}) cost ~21KB. Memory: AB's extra metadata stays
+below one 64B block per bucket (33B + 28B with R = 6), so the metadata
+access phase costs no extra transfer.
+"""
+
+import pytest
+
+from _common import emit, once
+from repro.analysis.report import render_mapping_table
+from repro.analysis.space import overhead_report
+from repro.core import schemes
+
+
+def test_storage_overheads(benchmark):
+    rep = once(benchmark, lambda: overhead_report(schemes.ab_scheme(24)))
+
+    rows = [
+        {"quantity": "DeadQ on-chip bytes", "value": rep["deadq_onchip_bytes"],
+         "paper": "~21KB"},
+        {"quantity": "tracked levels", "value": len(rep["deadq_levels"]),
+         "paper": "6"},
+        {"quantity": "entries per queue", "value": rep["deadq_capacity"],
+         "paper": "1000"},
+        {"quantity": "Ring metadata bytes/bucket",
+         "value": rep["ring_metadata_bytes"], "paper": "33"},
+        {"quantity": "AB metadata bytes/bucket",
+         "value": rep["ab_metadata_bytes"], "paper": "61"},
+        {"quantity": "AB extra metadata bytes",
+         "value": rep["ab_extra_metadata_bytes"], "paper": "28"},
+        {"quantity": "fits one 64B block",
+         "value": rep["ab_metadata_fits_block"], "paper": "yes"},
+    ]
+    emit(
+        "overheads",
+        render_mapping_table(rows, title="Section VIII-H storage overheads"),
+    )
+
+    assert rep["deadq_onchip_bytes"] == pytest.approx(21 * 1024, rel=0.15)
+    assert len(rep["deadq_levels"]) == 6
+    assert rep["ab_metadata_fits_block"]
+    assert rep["ring_metadata_bytes"] <= 40
+    assert rep["ab_extra_metadata_bytes"] <= 32

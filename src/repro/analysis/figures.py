@@ -1,0 +1,114 @@
+"""The paper's *analytic* figures as a library API.
+
+The simulation-driven figures live in ``benchmarks/`` (they take
+minutes); everything that is pure geometry is also exposed here as
+plain functions returning row dicts, so notebooks and downstream tools
+can regenerate the paper's space-side results instantly without pytest:
+
+- :func:`fig8_space` / :func:`fig8_utilization` -- the headline tables;
+- :func:`fig4_space_curve` -- classic-Ring S-reduction curve;
+- :func:`fig11_space_curve` -- DR starting-level sweep;
+- :func:`fig13_space_grid` -- NS's Ly-Sx exploration grid;
+- :func:`table1_rows` -- the metadata bit budget;
+- :func:`overheads` -- section VIII-H's storage overheads.
+
+All default to the paper's 24-level geometry and accept ``levels`` for
+scaled variants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.space import overhead_report, space_table, utilization_table
+from repro.core import schemes
+from repro.oram.metadata import summarize, table1
+
+
+def fig8_space(levels: int = 24) -> List[Dict[str, object]]:
+    """Fig. 8a: normalized space demand of the five main schemes."""
+    return space_table(schemes.main_schemes(levels))
+
+
+def fig8_utilization(levels: int = 24) -> List[Dict[str, object]]:
+    """Fig. 8b: space utilization of the five main schemes."""
+    return utilization_table(schemes.main_schemes(levels))
+
+
+def fig4_space_curve(
+    levels: int = 24, reduce_by: int = 3, max_bottom: int = 7
+) -> List[Dict[str, object]]:
+    """Fig. 4 (top): classic Ring ORAM, S shrunk for the last x levels."""
+    base = schemes.classic_ring(levels)
+    rows = [{"config": "baseline", "bottom_levels": 0, "space_norm": 1.0}]
+    for x in range(1, max_bottom + 1):
+        cfg = schemes.ring_s_reduced(levels, bottom=x, reduce_by=reduce_by)
+        rows.append({
+            "config": f"L-{x}",
+            "bottom_levels": x,
+            "space_norm": cfg.tree_bytes / base.tree_bytes,
+        })
+    return rows
+
+
+def fig11_space_curve(
+    levels: int = 24, max_bottom: int = 6
+) -> List[Dict[str, object]]:
+    """Fig. 11 (space side): DR applied from level (L - x) downward."""
+    base = schemes.baseline_cb(levels)
+    rows = []
+    for x in range(1, max_bottom + 1):
+        cfg = schemes.dr_scheme(levels, bottom=x)
+        rows.append({
+            "config": f"DR-L{levels - x}",
+            "bottom_levels": x,
+            "space_norm": cfg.tree_bytes / base.tree_bytes,
+            "utilization": cfg.space_utilization,
+        })
+    return rows
+
+
+def fig13_space_grid(
+    levels: int = 24, max_y: int = 3, max_x: int = 3
+) -> List[Dict[str, object]]:
+    """Fig. 13 (space side): the Ly-Sx grid over the CB baseline."""
+    base = schemes.baseline_cb(levels)
+    rows = []
+    for y in range(1, max_y + 1):
+        for x in range(1, max_x + 1):
+            cfg = schemes.ns_scheme(levels, bottom=y, reduce_by=x)
+            rows.append({
+                "config": f"L{y}-S{x}",
+                "bottom_levels": y,
+                "s_reduction": x,
+                "space_norm": cfg.tree_bytes / base.tree_bytes,
+            })
+    return rows
+
+
+def table1_rows(levels: int = 24) -> List[Dict[str, object]]:
+    """Table I as rows (field, category, ring bits, AB bits)."""
+    cfg = schemes.ab_scheme(levels)
+    rows = []
+    for name, row in table1(cfg).items():
+        rows.append({
+            "field": name,
+            "category": row["category"],
+            "ring_bits": row["ring_bits"],
+            "ab_bits": row["ab_bits"],
+            "function": row["function"],
+        })
+    s = summarize(cfg)
+    rows.append({
+        "field": "TOTAL bytes",
+        "category": "",
+        "ring_bits": s["ring_bytes"],
+        "ab_bits": s["ab_bytes"],
+        "function": "per-bucket metadata record",
+    })
+    return rows
+
+
+def overheads(levels: int = 24) -> Dict[str, object]:
+    """Section VIII-H's storage overheads for the AB scheme."""
+    return overhead_report(schemes.ab_scheme(levels))

@@ -1,0 +1,12 @@
+"""Application layer: what a downstream user builds on top of AB-ORAM.
+
+- :mod:`repro.app.kvstore` -- an oblivious key-value store: arbitrary
+  byte values chunked over 64B ORAM blocks, with a client-side
+  directory and free-list, optional chain padding to hide value sizes,
+  and the full AB-ORAM stack (including the encrypted tree store)
+  underneath.
+"""
+
+from repro.app.kvstore import ObliviousKV, KVFullError
+
+__all__ = ["ObliviousKV", "KVFullError"]

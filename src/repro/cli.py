@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``schemes``  -- list the paper's schemes and their geometries;
+- ``space``    -- closed-form space/utilization tables (exact at any L);
+- ``simulate`` -- run one (scheme, benchmark) timing simulation;
+- ``sweep``    -- scheme x benchmark matrix with normalized exec times;
+- ``security`` -- the section VI-C guessing-attacker experiment;
+- ``doctor``   -- validate configurations against the soundness rules;
+- ``figures``  -- regenerate the paper's analytic (space-side) figures.
+
+Every command prints the same text tables the benchmarks emit, so the
+CLI doubles as a quick reproduction console.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.report import render_mapping_table
+from repro.analysis.space import space_table, utilization_table
+from repro.core import schemes as schemes_mod
+from repro.core.ab_oram import build_oram
+from repro.core.security import GuessingAttacker
+from repro.sim import SimConfig, simulate
+from repro.sim.results import breakdown_fractions
+from repro.sim.runner import run_suite, suite_benchmarks
+from repro.traces.parsec import parsec_trace
+from repro.traces.spec import spec_trace
+
+ALL_SCHEMES = ["baseline", "ir", "dr", "dr-perf", "ns", "ab", "ring"]
+
+
+def _resolve(names: Sequence[str], levels: int):
+    return [schemes_mod.by_name(n, levels) for n in names]
+
+
+# ---------------------------------------------------------------- commands
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    for name in args.schemes:
+        cfg = schemes_mod.by_name(name, args.levels)
+        print(cfg.describe())
+        print()
+    return 0
+
+
+def cmd_space(args: argparse.Namespace) -> int:
+    cfgs = _resolve(args.schemes, args.levels)
+    print(render_mapping_table(
+        space_table(cfgs),
+        title=f"Space demand (L={args.levels})",
+    ))
+    print()
+    print(render_mapping_table(
+        utilization_table(cfgs),
+        title="Space utilization",
+    ))
+    return 0
+
+
+def _make_trace(suite: str, bench: str, n_blocks: int, requests: int,
+                seed: int):
+    factory = spec_trace if suite == "spec" else parsec_trace
+    return factory(bench, n_blocks, requests, seed=seed)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    cfg = schemes_mod.by_name(args.scheme, args.levels)
+    trace = _make_trace(args.suite, args.bench, cfg.n_real_blocks,
+                        args.requests, args.seed)
+    result = simulate(cfg, trace, SimConfig(
+        seed=args.seed,
+        warmup_requests=args.warmup,
+        check_invariants=args.check,
+    ))
+    fr = breakdown_fractions(result)
+    print(render_mapping_table(
+        [{
+            "scheme": result.scheme,
+            "benchmark": result.trace,
+            "exec_ms": result.exec_ns / 1e6,
+            "ns_per_access": result.ns_per_access,
+            "bandwidth_GBps": result.bandwidth_gbps,
+            "row_hit": result.row_hit_rate,
+            "readpath_p50_ns": result.readpath_p50_ns,
+            "readpath_p99_ns": result.readpath_p99_ns,
+            "stash_peak": result.stash_peak,
+            "ext_ratio": result.extension_ratio,
+        }],
+        title="Simulation result",
+    ))
+    print()
+    print(render_mapping_table(
+        [{"op": k, "time_fraction": v} for k, v in fr.items()],
+        title="Memory-time breakdown",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    cfgs = _resolve(args.schemes, args.levels)
+    benches = args.benchmarks or suite_benchmarks(args.suite)
+    results = run_suite(
+        cfgs,
+        suite=args.suite,
+        benchmarks=benches,
+        n_requests=args.requests,
+        seed=args.seed,
+        sim=SimConfig(seed=args.seed, warmup_requests=args.warmup),
+    )
+    baseline = cfgs[0].name
+    base = results[baseline]
+    rows = []
+    for bench in benches:
+        row = {"benchmark": bench}
+        for cfg in cfgs:
+            row[cfg.name] = (results[cfg.name][bench].exec_ns
+                             / base[bench].exec_ns)
+        rows.append(row)
+    print(render_mapping_table(
+        rows,
+        title=f"Execution time normalized to {baseline} (L={args.levels})",
+    ))
+    return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    from repro.oram.validate import diagnose
+    rc = 0
+    for name in args.schemes:
+        cfg = schemes_mod.by_name(name, args.levels)
+        findings = diagnose(cfg)
+        print(f"{cfg.name} (L={args.levels}):")
+        if not findings:
+            print("  no findings")
+        for f in findings:
+            print(f"  {f}")
+            if f.severity == "ERROR":
+                rc = 1
+        print()
+    return rc
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import figures
+    which = args.which
+    emitters = {
+        "fig4": lambda: render_mapping_table(
+            figures.fig4_space_curve(args.levels),
+            title="Fig 4 (top): classic Ring, S-3 for the last x levels"),
+        "fig8": lambda: "\n\n".join([
+            render_mapping_table(figures.fig8_space(args.levels),
+                                 title="Fig 8a: normalized space"),
+            render_mapping_table(figures.fig8_utilization(args.levels),
+                                 title="Fig 8b: utilization"),
+        ]),
+        "fig11": lambda: render_mapping_table(
+            figures.fig11_space_curve(args.levels),
+            title="Fig 11 (space): DR starting-level sweep"),
+        "fig13": lambda: render_mapping_table(
+            figures.fig13_space_grid(args.levels),
+            title="Fig 13 (space): NS Ly-Sx grid"),
+        "table1": lambda: render_mapping_table(
+            figures.table1_rows(args.levels),
+            title="Table I: metadata bits"),
+        "overheads": lambda: render_mapping_table(
+            [figures.overheads(args.levels)],
+            title="Section VIII-H overheads"),
+    }
+    for name in (emitters if which == "all" else [which]):
+        print(emitters[name]())
+        print()
+    return 0
+
+
+def cmd_security(args: argparse.Namespace) -> int:
+    rows = []
+    for name in args.schemes:
+        cfg = schemes_mod.by_name(name, args.levels)
+        attacker = GuessingAttacker(cfg.levels, seed=args.seed)
+        oram = build_oram(cfg, seed=args.seed, observers=[attacker])
+        oram.warm_fill()
+        rng = np.random.default_rng(args.seed + 1)
+        for _ in range(args.accesses):
+            oram.access(int(rng.integers(cfg.n_real_blocks)))
+        rows.append({
+            "scheme": name,
+            "guesses": attacker.guesses,
+            "success_rate": attacker.success_rate,
+            "expected_1_over_L": attacker.expected_rate,
+            "advantage": attacker.advantage(),
+        })
+    print(render_mapping_table(
+        rows,
+        title=f"Guessing attacker, {args.accesses} accesses (L={args.levels})",
+        precision=4,
+    ))
+    return 0
+
+
+# ------------------------------------------------------------------ parser
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AB-ORAM reproduction console",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schemes", help="describe scheme geometries")
+    p.add_argument("--levels", type=int, default=24)
+    p.add_argument("--schemes", nargs="+", default=ALL_SCHEMES,
+                   choices=ALL_SCHEMES)
+    p.set_defaults(func=cmd_schemes)
+
+    p = sub.add_parser("space", help="closed-form space tables")
+    p.add_argument("--levels", type=int, default=24)
+    p.add_argument("--schemes", nargs="+",
+                   default=["baseline", "ir", "dr", "ns", "ab"],
+                   choices=ALL_SCHEMES)
+    p.set_defaults(func=cmd_space)
+
+    p = sub.add_parser("simulate", help="one (scheme, benchmark) run")
+    p.add_argument("--scheme", default="ab", choices=ALL_SCHEMES)
+    p.add_argument("--suite", default="spec", choices=["spec", "parsec"])
+    p.add_argument("--bench", default="mcf")
+    p.add_argument("--levels", type=int, default=12)
+    p.add_argument("--requests", type=int, default=1000)
+    p.add_argument("--warmup", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check", action="store_true",
+                   help="verify protocol invariants after the run")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("sweep", help="scheme x benchmark matrix")
+    p.add_argument("--schemes", nargs="+",
+                   default=["baseline", "dr", "ns", "ab"],
+                   choices=ALL_SCHEMES)
+    p.add_argument("--suite", default="spec", choices=["spec", "parsec"])
+    p.add_argument("--benchmarks", nargs="*", default=None)
+    p.add_argument("--levels", type=int, default=12)
+    p.add_argument("--requests", type=int, default=800)
+    p.add_argument("--warmup", type=int, default=250)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("figures", help="regenerate analytic figures")
+    p.add_argument("--which", default="all",
+                   choices=["all", "fig4", "fig8", "fig11", "fig13",
+                            "table1", "overheads"])
+    p.add_argument("--levels", type=int, default=24)
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("doctor", help="validate scheme configurations")
+    p.add_argument("--levels", type=int, default=24)
+    p.add_argument("--schemes", nargs="+", default=ALL_SCHEMES,
+                   choices=ALL_SCHEMES)
+    p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser("security", help="guessing-attacker experiment")
+    p.add_argument("--schemes", nargs="+", default=["baseline", "ab"],
+                   choices=ALL_SCHEMES)
+    p.add_argument("--levels", type=int, default=10)
+    p.add_argument("--accesses", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_security)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

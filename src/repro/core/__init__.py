@@ -1,0 +1,27 @@
+"""AB-ORAM: the paper's contribution.
+
+- :mod:`repro.core.dead_queue` -- the per-level DeadQ FIFOs that track
+  recently generated dead blocks.
+- :mod:`repro.core.remote` -- the remote-allocation machinery: slot
+  gathering, rental (S extension), release, and the extension-success
+  accounting behind the paper's Fig. 14.
+- :mod:`repro.core.schemes` -- every configuration evaluated in the
+  paper (Baseline/CB, IR, DR, NS, AB, classic Ring, Fig. 4 variants).
+- :mod:`repro.core.ab_oram` -- the user-facing controller that wires a
+  Ring ORAM instance to the AB extensions.
+- :mod:`repro.core.security` -- the empirical attacker of section VI-C.
+"""
+
+from repro.core.dead_queue import DeadQueue, DeadQueueSet
+from repro.core.remote import RemoteAllocator
+from repro.core.ab_oram import AbOram, build_oram
+from repro.core import schemes
+
+__all__ = [
+    "DeadQueue",
+    "DeadQueueSet",
+    "RemoteAllocator",
+    "AbOram",
+    "build_oram",
+    "schemes",
+]

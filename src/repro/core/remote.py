@@ -1,0 +1,250 @@
+"""Remote allocation: AB-ORAM's extra level of address mapping.
+
+A bucket at a DR level is physically allocated with a reduced ``S`` and,
+at every reshuffle, tries to *extend* it back by renting
+``remote_extension`` dead slots from its level's DeadQ (strategy (2) of
+the paper's section V-C1). The rented slots become extra logical slots
+of the renting bucket: its reshuffle scatters real blocks and dummies
+uniformly across local + remote positions, so a readPath redirected to
+a remote address is indistinguishable from any other read (this is what
+keeps the paper's Fig. 7 attacker at exactly 1/L -- if remote slots
+only ever held dummies, the cleartext mapping would let an attacker
+exclude them from guessing).
+
+Lifecycle of a rented slot:
+
+1. some bucket's slot dies (a readPath consumes it) -> status DEAD;
+2. ``gather`` sees it during a later readPath's metadata pass and
+   queues it in its level's DeadQ -> status QUEUED;
+3. a reshuffling bucket rents it (``acquire``) -> status IN_USE; the
+   renter writes fresh content (real block or dummy) to the host
+   address. The *logical* content is tracked here -- the host bucket's
+   own slot row keeps showing CONSUMED so host-side scans never touch
+   the rented slot;
+4. either a readPath of the renter consumes the remote slot (it turns
+   DEAD again and may be gathered anew), or the renter's next reshuffle
+   returns it unconsumed to the DeadQ (``reclaim`` -> QUEUED).
+
+Extension is all-or-nothing per bucket ("dynamicS is extended to S+2
+only for the buckets that allocate their two logical tree blocks in
+reclaimed dead blocks"); the grant/attempt ratio is the paper's Fig. 14
+metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dead_queue import DeadQueueSet
+from repro.oram.bucket import CONSUMED, DUMMY, BucketStore, SlotStatus
+from repro.oram.config import OramConfig
+
+
+class RemoteAllocator:
+    """The AB-ORAM extension object plugged into a RingOram controller."""
+
+    def __init__(self, cfg: OramConfig) -> None:
+        self.cfg = cfg
+        self.queues = DeadQueueSet(cfg.deadq_levels, cfg.deadq_capacity)
+        # renter bucket -> list of unconsumed [host_bucket, host_slot, content]
+        self._rentals: Dict[int, List[List[int]]] = {}
+        self._store: Optional[BucketStore] = None
+        self.extension_attempts = 0
+        self.extension_grants = 0
+        self.remote_reads = 0
+        self.remote_real_reads = 0
+        self.reclaimed_slots = 0
+
+    # ------------------------------------------------------------- binding
+
+    def bind(self, controller) -> None:
+        """Attach to a RingOram controller (called by its constructor)."""
+        self._store = controller.store
+
+    @property
+    def store(self) -> BucketStore:
+        if self._store is None:
+            raise RuntimeError("RemoteAllocator not bound to a controller")
+        return self._store
+
+    # -------------------------------------------------------------- gather
+
+    def gather(self, bucket: int, level: int) -> int:
+        """gatherDEADs: queue the DEAD slots of ``bucket`` (readPath hook).
+
+        Only tracked levels participate; a bucket always keeps at least
+        one non-ALLOCATED slot so it can serve a readPath even when no
+        extension is granted. Returns how many slots were queued.
+        """
+        queue = self.queues.get(level)
+        if queue is None or queue.is_full:
+            return 0
+        store = self.store
+        dead = store.dead_slots(bucket)
+        if not dead.size:
+            return 0
+        z = store.z_phys(bucket)
+        st = store.status[bucket, :z]
+        allocated = int(
+            ((st == SlotStatus.QUEUED) | (st == SlotStatus.IN_USE)).sum()
+        )
+        queued = 0
+        for slot in dead:
+            if allocated >= z - 1 or queue.is_full:
+                break
+            slot = int(slot)
+            if queue.push(bucket, slot, store.slot_generation(bucket, slot)):
+                store.set_status(bucket, slot, SlotStatus.QUEUED)
+                allocated += 1
+                queued += 1
+        return queued
+
+    # ---------------------------------------------------------- extension
+
+    def acquire(self, bucket: int, level: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """Try to rent ``remote_extension`` dead slots for ``bucket``.
+
+        Returns ``(granted_extension, host_slots)``. All-or-nothing: on
+        shortage every popped entry goes back and the grant is 0. The
+        caller assigns contents via :meth:`write_remote` and reports
+        the memory writes.
+        """
+        r = self.cfg.geometry[level].remote_extension
+        if r == 0:
+            return 0, []
+        queue = self.queues.get(level)
+        self.extension_attempts += 1
+        if queue is None:
+            return 0, []
+        store = self.store
+        got: List[Tuple[int, int]] = []
+        rejected: List[Tuple[int, int]] = []
+        while len(got) < r:
+            entry = queue.pop_valid(store)
+            if entry is None:
+                break
+            if entry[0] == bucket:
+                # Renting a slot from the bucket being reshuffled would
+                # just shrink its own usable set; skip it.
+                rejected.append(entry)
+                continue
+            got.append(entry)
+        for hb, hs in rejected:
+            queue.requeue_front(hb, hs, store.slot_generation(hb, hs))
+        if len(got) < r:
+            for hb, hs in got:
+                queue.requeue_front(hb, hs, store.slot_generation(hb, hs))
+            return 0, []
+        for hb, hs in got:
+            store.set_status(hb, hs, SlotStatus.IN_USE)
+            # The host's own row must never expose the rented slot.
+            store.slots[hb, hs] = CONSUMED
+        self._rentals[bucket] = [[hb, hs, DUMMY] for hb, hs in got]
+        self.extension_grants += 1
+        return r, list(got)
+
+    def write_remote(self, bucket: int, host: Tuple[int, int], content: int) -> None:
+        """Set the logical content (block id or DUMMY) of a rented slot."""
+        for entry in self._rentals.get(bucket, ()):
+            if (entry[0], entry[1]) == host:
+                entry[2] = content
+                return
+        raise KeyError(f"bucket {bucket} does not rent slot {host}")
+
+    def reclaim(self, bucket: int) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """End ``bucket``'s rental round (its reshuffle begins).
+
+        Unconsumed rented slots return to their level's DeadQ; any real
+        blocks they held are handed back for the caller to stash.
+        Returns ``(real_blocks, released_host_slots)``.
+        """
+        rentals = self._rentals.pop(bucket, None)
+        if not rentals:
+            return [], []
+        store = self.store
+        reals: List[int] = []
+        released: List[Tuple[int, int]] = []
+        for hb, hs, content in rentals:
+            if content >= 0:
+                reals.append(content)
+            released.append((hb, hs))
+            level = store.level(hb)
+            queue = self.queues.get(level)
+            store.set_status(hb, hs, SlotStatus.QUEUED)
+            gen = store.slot_generation(hb, hs)
+            if queue is None or not queue.push(hb, hs, gen):
+                # Queue full: the slot stays dead until its host bucket
+                # reshuffles over it.
+                store.set_status(hb, hs, SlotStatus.DEAD)
+            self.reclaimed_slots += 1
+        return reals, released
+
+    # ------------------------------------------------------- readPath side
+
+    def rentals_of(self, bucket: int) -> List[List[int]]:
+        """Unconsumed rented slots of ``bucket`` as [hb, hs, content]."""
+        return self._rentals.get(bucket, [])
+
+    def find_remote_block(self, bucket: int, block: int) -> Optional[Tuple[int, int]]:
+        """Host location of ``block`` if ``bucket`` stores it remotely."""
+        for hb, hs, content in self._rentals.get(bucket, ()):
+            if content == block:
+                return hb, hs
+        return None
+
+    def consume_remote(self, bucket: int, host: Tuple[int, int]) -> int:
+        """Serve a readPath from a rented slot; returns its content.
+
+        The host slot turns DEAD (gatherable again); the renter's access
+        count advances exactly as for a local read.
+        """
+        rentals = self._rentals.get(bucket)
+        if not rentals:
+            raise RuntimeError(f"bucket {bucket} has no unconsumed remote slots")
+        for i, (hb, hs, content) in enumerate(rentals):
+            if (hb, hs) == host:
+                rentals.pop(i)
+                store = self.store
+                store.slots[hb, hs] = CONSUMED
+                store.set_status(hb, hs, SlotStatus.DEAD)
+                store.count[bucket] += 1
+                self.remote_reads += 1
+                if content >= 0:
+                    self.remote_real_reads += 1
+                if not rentals:
+                    self._rentals.pop(bucket, None)
+                return content
+        raise KeyError(f"bucket {bucket} does not rent slot {host}")
+
+    # ------------------------------------------------------------- metrics
+
+    @property
+    def extension_ratio(self) -> float:
+        """Granted / attempted extensions (the paper's Fig. 14)."""
+        if self.extension_attempts == 0:
+            return 0.0
+        return self.extension_grants / self.extension_attempts
+
+    def active_rentals(self) -> int:
+        return sum(len(v) for v in self._rentals.values())
+
+    def remote_real_blocks(self) -> List[Tuple[int, int]]:
+        """(renter bucket, block) pairs currently stored remotely."""
+        out: List[Tuple[int, int]] = []
+        for bucket, rentals in self._rentals.items():
+            for _hb, _hs, content in rentals:
+                if content >= 0:
+                    out.append((bucket, content))
+        return out
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "extension_attempts": self.extension_attempts,
+            "extension_grants": self.extension_grants,
+            "extension_ratio": self.extension_ratio,
+            "remote_reads": self.remote_reads,
+            "remote_real_reads": self.remote_real_reads,
+            "reclaimed_slots": self.reclaimed_slots,
+            "active_rentals": self.active_rentals(),
+            "queues": self.queues.stats(),
+        }

@@ -1,0 +1,254 @@
+"""Every ORAM configuration evaluated in the paper (section VII).
+
+All builders take a ``levels`` argument so the same schemes can run on
+scaled-down trees (the timing simulator's default) as well as the
+paper's 24-level geometry (used for the exact space math). Level ranges
+defined in the paper for L = 24 -- DR's bottom six levels, NS's bottom
+two, IR's middle band -- are expressed as *counts from the bottom* or
+*fractions of the tree*, which keeps the capacity fractions (and hence
+the space-reduction ratios) essentially level-count-invariant.
+
+Paper settings reproduced here (for L = 24):
+
+==========  =======================================================
+Baseline    CB everywhere: Z = 8 (Z' = 5, S = 3, Y = 4), sustain 7
+IR          Baseline + Z' = 4 for L10..L18, Y = 3 everywhere
+DR          Z = 6 (S = 1) for L18..L23, extension r = 2 via DeadQ
+NS          Z = 6 (S = 1) for L22..L23 (the "L2-S2" point)
+AB          Z = 6 (S = 1) for L18..L20 and Z = 5 (S = 0) for
+            L21..L23, extension r = 2 over all six ("L3-S1" on NS)
+Ring        classic Ring ORAM: Z = 12 (Z' = 5, S = 7), no overlap
+==========  =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.oram.config import (
+    BucketGeometry,
+    OramConfig,
+    bottom_range,
+    override_levels,
+    scaled_treetop,
+    uniform_geometry,
+)
+
+# The paper's typical secure-processor setting (Ren et al.).
+Z_REAL = 5          # Z'
+RING_S = 7          # classic Ring ORAM reserved dummies
+CB_S = 3            # bucket-compaction physical S
+CB_OVERLAP = 4      # Y
+EVICT_RATE = 5      # A
+PAPER_LEVELS = 24
+
+# DR / NS / AB level ranges, expressed as bottom-level counts (L = 24:
+# bottom 6 = L18..L23, bottom 2 = L22..L23, bottom 3 = L21..L23).
+DR_BOTTOM = 6
+NS_BOTTOM = 2
+AB_UPPER_BOTTOM = 6   # L18..L20 get S=1 ...
+AB_LOWER_BOTTOM = 3   # ... and L21..L23 get S=0
+DR_EXTENSION = 2
+NS_REDUCE = 2         # NS shrinks S by 2 (L2-S2)
+
+
+def _common(levels: int, **kw) -> Dict[str, object]:
+    opts: Dict[str, object] = {
+        "evict_rate": EVICT_RATE,
+        "treetop_levels": scaled_treetop(levels),
+        "base_z_real": Z_REAL,
+    }
+    opts.update(kw)
+    return opts
+
+
+def classic_ring(levels: int = PAPER_LEVELS, s: int = RING_S) -> OramConfig:
+    """Ren et al.'s Ring ORAM: Z = 12, Z' = 5, S = 7, no compaction."""
+    return OramConfig(
+        levels=levels,
+        geometry=uniform_geometry(levels, Z_REAL, s),
+        name="ring",
+        **_common(levels),
+    )
+
+
+def baseline_cb(levels: int = PAPER_LEVELS) -> OramConfig:
+    """The paper's Baseline: Ring ORAM + Bucket Compaction (Y = 4)."""
+    return OramConfig(
+        levels=levels,
+        geometry=uniform_geometry(levels, Z_REAL, CB_S, overlap=CB_OVERLAP),
+        name="Baseline",
+        **_common(levels),
+    )
+
+
+def ir_oram(levels: int = PAPER_LEVELS) -> OramConfig:
+    """IR-ORAM's utilization optimization on the CB baseline.
+
+    Z' drops to 4 for the middle band (L10..L18 at L = 24, scaled
+    proportionally otherwise) and the overlap drops to Y = 3 everywhere
+    to bound stash pressure, which costs reshuffles (sustain 6 < 7).
+    """
+    lo = round(levels * 10 / PAPER_LEVELS)
+    hi = round(levels * 18 / PAPER_LEVELS)
+    lo = max(1, min(levels - 2, lo))
+    hi = max(lo, min(levels - 1, hi))
+    geometry = list(uniform_geometry(levels, Z_REAL, CB_S, overlap=3))
+    for lv in range(lo, hi + 1):
+        geometry[lv] = BucketGeometry(z_real=4, s_reserved=CB_S, overlap=3)
+    return OramConfig(
+        levels=levels,
+        geometry=tuple(geometry),
+        name="IR",
+        **_common(levels),
+    )
+
+
+def dr_scheme(
+    levels: int = PAPER_LEVELS,
+    bottom: int = DR_BOTTOM,
+    extension: int = DR_EXTENSION,
+    deadq_capacity: int = 1000,
+) -> OramConfig:
+    """Dead-block Reclaim: shrink S to 1 at the bottom, extend via DeadQ."""
+    dr_levels = bottom_range(levels, min(bottom, levels - 1))
+    geometry = override_levels(
+        uniform_geometry(levels, Z_REAL, CB_S, overlap=CB_OVERLAP),
+        {
+            lv: BucketGeometry(Z_REAL, 1, overlap=CB_OVERLAP,
+                               remote_extension=extension)
+            for lv in dr_levels
+        },
+    )
+    return OramConfig(
+        levels=levels,
+        geometry=geometry,
+        deadq_levels=dr_levels,
+        deadq_capacity=deadq_capacity,
+        name=f"DR-L{levels - len(dr_levels)}" if bottom != DR_BOTTOM else "DR",
+        **_common(levels),
+    )
+
+
+def dr_perf_scheme(
+    levels: int = PAPER_LEVELS,
+    bottom: int = DR_BOTTOM,
+    extension: int = DR_EXTENSION,
+    deadq_capacity: int = 1000,
+) -> OramConfig:
+    """Strategy (1) of section V-C1: extend S *beyond* the baseline.
+
+    The paper describes two ways to exploit remote allocation and
+    adopts the space-saving one (strategy (2), :func:`dr_scheme`). This
+    is the other: keep the baseline's physical allocation (Z = 8,
+    sustain 7) and extend buckets to sustain 9 at runtime by renting
+    dead slots -- no space saving, but fewer earlyReshuffle operations
+    and thus potentially better performance.
+    """
+    band = bottom_range(levels, min(bottom, levels - 1))
+    geometry = override_levels(
+        uniform_geometry(levels, Z_REAL, CB_S, overlap=CB_OVERLAP),
+        {
+            lv: BucketGeometry(Z_REAL, CB_S, overlap=CB_OVERLAP,
+                               remote_extension=extension)
+            for lv in band
+        },
+    )
+    return OramConfig(
+        levels=levels,
+        geometry=geometry,
+        deadq_levels=band,
+        deadq_capacity=deadq_capacity,
+        name="DR-perf",
+        **_common(levels),
+    )
+
+
+def ns_scheme(
+    levels: int = PAPER_LEVELS,
+    bottom: int = NS_BOTTOM,
+    reduce_by: int = NS_REDUCE,
+) -> OramConfig:
+    """Non-uniform S: permanently smaller S for the bottom levels."""
+    ns_levels = bottom_range(levels, min(bottom, levels - 1))
+    base = BucketGeometry(Z_REAL, CB_S, overlap=CB_OVERLAP)
+    geometry = override_levels(
+        uniform_geometry(levels, Z_REAL, CB_S, overlap=CB_OVERLAP),
+        {lv: base.shrunk(reduce_by) for lv in ns_levels},
+    )
+    name = "NS" if (bottom, reduce_by) == (NS_BOTTOM, NS_REDUCE) else (
+        f"NS-L{bottom}-S{reduce_by}"
+    )
+    return OramConfig(levels=levels, geometry=geometry, name=name,
+                      **_common(levels))
+
+
+def ab_scheme(
+    levels: int = PAPER_LEVELS,
+    deadq_capacity: int = 1000,
+) -> OramConfig:
+    """AB = DR + NS: S = 1 for the upper DR band, S = 0 for the bottom
+    three levels, remote extension r = 2 throughout the band."""
+    band = bottom_range(levels, min(AB_UPPER_BOTTOM, levels - 1))
+    lower = set(bottom_range(levels, min(AB_LOWER_BOTTOM, levels - 1)))
+    overrides = {}
+    for lv in band:
+        s = 0 if lv in lower else 1
+        overrides[lv] = BucketGeometry(Z_REAL, s, overlap=CB_OVERLAP,
+                                       remote_extension=DR_EXTENSION)
+    geometry = override_levels(
+        uniform_geometry(levels, Z_REAL, CB_S, overlap=CB_OVERLAP),
+        overrides,
+    )
+    return OramConfig(
+        levels=levels,
+        geometry=geometry,
+        deadq_levels=band,
+        deadq_capacity=deadq_capacity,
+        name="AB",
+        **_common(levels),
+    )
+
+
+def ring_s_reduced(
+    levels: int = PAPER_LEVELS, bottom: int = 1, reduce_by: int = 3
+) -> OramConfig:
+    """Fig. 4's motivational variants: classic Ring ORAM with S shrunk
+    by ``reduce_by`` for the bottom ``bottom`` levels (the paper's L-x)."""
+    lv_set = bottom_range(levels, min(bottom, levels - 1))
+    base = BucketGeometry(Z_REAL, RING_S)
+    geometry = override_levels(
+        uniform_geometry(levels, Z_REAL, RING_S),
+        {lv: base.shrunk(reduce_by) for lv in lv_set},
+    )
+    return OramConfig(levels=levels, geometry=geometry,
+                      name=f"ring-L{bottom}-S{reduce_by}", **_common(levels))
+
+
+def main_schemes(levels: int = PAPER_LEVELS) -> List[OramConfig]:
+    """The five configurations of the paper's main evaluation (Fig. 8)."""
+    return [
+        baseline_cb(levels),
+        ir_oram(levels),
+        dr_scheme(levels),
+        ns_scheme(levels),
+        ab_scheme(levels),
+    ]
+
+
+def by_name(name: str, levels: int = PAPER_LEVELS) -> OramConfig:
+    """Look a scheme up by its paper name."""
+    table = {
+        "baseline": baseline_cb,
+        "cb": baseline_cb,
+        "ir": ir_oram,
+        "dr": dr_scheme,
+        "dr-perf": dr_perf_scheme,
+        "ns": ns_scheme,
+        "ab": ab_scheme,
+        "ring": classic_ring,
+    }
+    key = name.lower()
+    if key not in table:
+        raise KeyError(f"unknown scheme {name!r}; choose from {sorted(table)}")
+    return table[key](levels)

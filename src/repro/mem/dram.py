@@ -1,0 +1,162 @@
+"""Event-based DRAM channel/bank timing model.
+
+One :class:`DramModel` holds per-bank open-row state and availability
+times plus a per-channel data-bus availability time. ``access`` computes
+when one 64B request completes:
+
+1. the request waits for its bank (earlier requests to the same bank)
+   and, on a row-buffer miss, pays precharge + activate;
+2. the data burst waits for the channel bus;
+3. write recovery keeps the bank busy after a write burst.
+
+This is the first-ready part of FR-FCFS: requests are processed in
+arrival order but independent banks and channels proceed concurrently,
+which is where Ring ORAM's channel-parallel path reads and the
+row-buffer friendliness of bucket reshuffles come from -- the effects
+the paper's USIMM runs measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.mem.address_map import AddressMapping
+from repro.mem.timing import DDR3_1600, DramTiming
+
+
+@dataclass
+class DramStats:
+    """Aggregate counters of one model instance."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    refreshes: int = 0
+    total_service_ns: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.accesses * 64
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+
+class DramModel:
+    """Timing model for one memory system (all channels)."""
+
+    def __init__(
+        self,
+        timing: DramTiming = DDR3_1600,
+        mapping: AddressMapping = AddressMapping(),
+    ) -> None:
+        self.timing = timing
+        self.mapping = mapping
+        n_banks_total = mapping.n_channels * mapping.n_banks
+        self._open_row = np.full(n_banks_total, -1, dtype=np.int64)
+        self._bank_ready = np.zeros(n_banks_total, dtype=np.float64)
+        self._bus_free = np.zeros(mapping.n_channels, dtype=np.float64)
+        self._last_activate = np.full(mapping.n_channels, -1e18)
+        self._last_was_write = np.zeros(mapping.n_channels, dtype=bool)
+        self._refresh_epoch = np.zeros(mapping.n_channels, dtype=np.int64)
+        self.stats = DramStats()
+        self.channel_busy_ns = np.zeros(mapping.n_channels, dtype=np.float64)
+
+    def _apply_refresh(self, channel: int, arrival_ns: float) -> None:
+        """Lazily account refreshes due on ``channel`` before ``arrival_ns``.
+
+        Every elapsed tREFI window closes the channel's row buffers;
+        the most recent one also stalls its banks for tRFC.
+        """
+        t = self.timing
+        if t.t_refi <= 0:
+            return
+        epoch = int(arrival_ns // t.t_refi)
+        if epoch <= self._refresh_epoch[channel]:
+            return
+        self._refresh_epoch[channel] = epoch
+        lo = channel * self.mapping.n_banks
+        hi = lo + self.mapping.n_banks
+        self._open_row[lo:hi] = -1
+        stall_end = epoch * t.t_refi + t.t_rfc
+        np.maximum(self._bank_ready[lo:hi], stall_end,
+                   out=self._bank_ready[lo:hi])
+        self.stats.refreshes += 1
+
+    def access(self, byte_addr: int, write: bool, arrival_ns: float) -> float:
+        """Service one 64B request; returns its completion time (ns)."""
+        t = self.timing
+        channel, bank, row, _col = self.mapping.decompose(byte_addr)
+        self._apply_refresh(channel, arrival_ns)
+        bank_idx = channel * self.mapping.n_banks + bank
+        row_hit = self._open_row[bank_idx] == row
+        if row_hit:
+            col_ready = max(arrival_ns, float(self._bank_ready[bank_idx]))
+        else:
+            # Precharge, then an activate constrained by the channel's
+            # activation rate (tRRD / tFAW window).
+            precharged = max(arrival_ns, float(self._bank_ready[bank_idx])) + t.t_rp
+            activate = max(precharged, float(self._last_activate[channel]) + t.t_rrd)
+            self._last_activate[channel] = activate
+            col_ready = activate + t.t_rcd
+        ready = col_ready + t.column_ns(write)
+        bus_free = float(self._bus_free[channel])
+        bus_free += t.turnaround_ns(bool(self._last_was_write[channel]), write)
+        burst_start = max(ready, bus_free)
+        completion = burst_start + t.burst_ns
+        self._bus_free[channel] = completion
+        self._last_was_write[channel] = write
+        self._bank_ready[bank_idx] = completion + t.recovery_ns(write)
+        self._open_row[bank_idx] = row
+        self.channel_busy_ns[channel] += completion - burst_start
+        st = self.stats
+        if write:
+            st.writes += 1
+        else:
+            st.reads += 1
+        if row_hit:
+            st.row_hits += 1
+        else:
+            st.row_misses += 1
+        st.total_service_ns += completion - arrival_ns
+        return completion
+
+    def access_burst(
+        self, byte_addrs: List[int], writes: List[bool], arrival_ns: float
+    ) -> float:
+        """Issue a batch arriving together; returns the last completion."""
+        if len(byte_addrs) != len(writes):
+            raise ValueError("byte_addrs and writes length mismatch")
+        done = arrival_ns
+        for addr, w in zip(byte_addrs, writes):
+            done = max(done, self.access(addr, w, arrival_ns))
+        return done
+
+    @property
+    def frontier_ns(self) -> float:
+        """Earliest time a fresh request could complete everywhere."""
+        return float(self._bus_free.max(initial=0.0))
+
+    def bandwidth_gbps(self, elapsed_ns: float) -> float:
+        """Average consumed bandwidth over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.stats.bytes_transferred / elapsed_ns
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "reads": float(self.stats.reads),
+            "writes": float(self.stats.writes),
+            "row_hit_rate": self.stats.row_hit_rate,
+            "bytes": float(self.stats.bytes_transferred),
+            "channel_busy_ns": [float(x) for x in self.channel_busy_ns],
+        }

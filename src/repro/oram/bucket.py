@@ -1,0 +1,228 @@
+"""Physical storage of the ORAM tree's buckets.
+
+State is numpy-backed so that trees with millions of buckets stay
+affordable: one row per bucket (padded to the widest level's ``Z``),
+plus per-bucket counters and per-slot status/generation words.
+
+Slot contents are encoded in a single int64:
+
+- ``>= 0``: id of the real block stored in the slot;
+- ``DUMMY`` (-1): a valid dummy block;
+- ``CONSUMED`` (-2): the slot was read since the last refresh -- this is
+  a *dead block* in the paper's vocabulary;
+- ``UNALLOCATED`` (-3): padding column beyond this level's physical Z.
+
+Slot status (AB-ORAM, Table I's 2-bit ``status`` field) tracks the
+remote-allocation lifecycle. ``QUEUED`` and ``IN_USE`` both map onto the
+paper's single ``ALLOCATED`` state; we keep them distinct because the
+simulator must know whether a slot is merely parked in a DeadQ (its
+owner may lazily reclaim it at reshuffle) or actively hosting another
+bucket's data (its owner must skip it). Lazy reclamation is implemented
+with per-slot generation counters: DeadQ entries snapshot the
+generation, and a stale entry is discarded at dequeue time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.oram.config import OramConfig
+
+DUMMY = -1
+CONSUMED = -2
+UNALLOCATED = -3
+
+
+class SlotStatus(enum.IntEnum):
+    """Lifecycle of a physical slot under AB-ORAM."""
+
+    REFRESHED = 0
+    DEAD = 1
+    QUEUED = 2   # paper: ALLOCATED (sitting in a DeadQ)
+    IN_USE = 3   # paper: ALLOCATED (hosting a remote block)
+
+
+class BucketStore:
+    """All bucket state of one ORAM tree."""
+
+    def __init__(self, cfg: OramConfig) -> None:
+        self.cfg = cfg
+        n = cfg.n_buckets
+        zmax = cfg.z_max
+        self.level_of_bucket = np.empty(n, dtype=np.uint8)
+        self.z_of_bucket = np.empty(n, dtype=np.uint8)
+        for lv in range(cfg.levels):
+            lo = (1 << lv) - 1
+            hi = (1 << (lv + 1)) - 1
+            self.level_of_bucket[lo:hi] = lv
+            self.z_of_bucket[lo:hi] = cfg.geometry[lv].z_total
+        self.slots = np.full((n, zmax), UNALLOCATED, dtype=np.int64)
+        for lv in range(cfg.levels):
+            lo = (1 << lv) - 1
+            hi = (1 << (lv + 1)) - 1
+            self.slots[lo:hi, : cfg.geometry[lv].z_total] = DUMMY
+        self.count = np.zeros(n, dtype=np.int32)
+        # Sustain granted for the current round; starts at the
+        # *unextended* value (extensions are only granted at reshuffles).
+        self.sustain = np.empty(n, dtype=np.int32)
+        for lv in range(cfg.levels):
+            lo = (1 << lv) - 1
+            hi = (1 << (lv + 1)) - 1
+            self.sustain[lo:hi] = cfg.geometry[lv].sustain_unextended
+        self.status = np.zeros((n, zmax), dtype=np.uint8)
+        self.generation = np.zeros((n, zmax), dtype=np.uint32)
+        self.reshuffles_by_level = np.zeros(cfg.levels, dtype=np.int64)
+
+    # ------------------------------------------------------------ geometry
+
+    def level(self, bucket: int) -> int:
+        return int(self.level_of_bucket[bucket])
+
+    def z_phys(self, bucket: int) -> int:
+        return int(self.z_of_bucket[bucket])
+
+    def row(self, bucket: int) -> np.ndarray:
+        """Physical slot contents of ``bucket`` (length = its Z)."""
+        return self.slots[bucket, : self.z_of_bucket[bucket]]
+
+    # ------------------------------------------------------------- queries
+
+    def find_block(self, bucket: int, block: int) -> int:
+        """Slot index of ``block`` in ``bucket``, or -1."""
+        row = self.row(bucket)
+        hits = np.nonzero(row == block)[0]
+        return int(hits[0]) if hits.size else -1
+
+    def valid_dummy_slots(self, bucket: int) -> np.ndarray:
+        """Dummy slots the bucket itself may serve reads from.
+
+        Slots rented to another bucket (IN_USE) or parked in a DeadQ
+        (QUEUED) are excluded: the paper marks them ALLOCATED precisely
+        so that "no one else will use" them.
+        """
+        z = self.z_of_bucket[bucket]
+        row = self.slots[bucket, :z]
+        st = self.status[bucket, :z]
+        return np.nonzero((row == DUMMY) & (st == SlotStatus.REFRESHED))[0]
+
+    def valid_real_slots(self, bucket: int) -> np.ndarray:
+        return np.nonzero(self.row(bucket) >= 0)[0]
+
+    def dead_slots(self, bucket: int) -> np.ndarray:
+        """Slots whose status is DEAD (consumed, not yet queued/reused)."""
+        z = self.z_of_bucket[bucket]
+        return np.nonzero(self.status[bucket, :z] == SlotStatus.DEAD)[0]
+
+    def real_count(self, bucket: int) -> int:
+        return int((self.row(bucket) >= 0).sum())
+
+    def usable_slots(self, bucket: int) -> np.ndarray:
+        """Slots this bucket may rewrite at reshuffle (not rented out)."""
+        z = self.z_of_bucket[bucket]
+        st = self.status[bucket, :z]
+        return np.nonzero(st != SlotStatus.IN_USE)[0]
+
+    # ------------------------------------------------------------- updates
+
+    def consume(self, bucket: int, slot: int) -> int:
+        """Read a slot: return its content, mark it consumed/dead."""
+        z = self.z_phys(bucket)
+        if not 0 <= slot < z:
+            raise ValueError(f"slot {slot} out of range for bucket {bucket} (Z={z})")
+        content = int(self.slots[bucket, slot])
+        if content in (CONSUMED, UNALLOCATED):
+            raise RuntimeError(
+                f"double consume of bucket {bucket} slot {slot} (={content})"
+            )
+        self.slots[bucket, slot] = CONSUMED
+        self.status[bucket, slot] = SlotStatus.DEAD
+        self.count[bucket] += 1
+        return content
+
+    def refresh(
+        self,
+        bucket: int,
+        real_blocks: Sequence[int],
+        granted_extension: int = 0,
+    ) -> List[int]:
+        """Rewrite ``bucket`` with ``real_blocks`` plus dummies.
+
+        Every usable slot (not rented out via remote allocation) is
+        rewritten; QUEUED slots are reclaimed by bumping their
+        generation (their DeadQ entries turn stale). Returns the slot
+        indices written. Caller guarantees
+        ``len(real_blocks) <= z_real`` and that enough usable slots
+        exist (checked here).
+        """
+        usable = self.usable_slots(bucket)
+        if len(real_blocks) > len(usable):
+            raise RuntimeError(
+                f"bucket {bucket}: {len(real_blocks)} real blocks but only "
+                f"{len(usable)} usable slots"
+            )
+        # Reclaim queued slots (lazy DeadQ invalidation).
+        queued = usable[self.status[bucket, usable] == SlotStatus.QUEUED]
+        if queued.size:
+            self.generation[bucket, queued] += 1
+        self.slots[bucket, usable] = DUMMY
+        for i, blk in enumerate(real_blocks):
+            self.slots[bucket, usable[i]] = blk
+        self.status[bucket, usable] = SlotStatus.REFRESHED
+        self.count[bucket] = 0
+        lvl = self.level(bucket)
+        base = self.cfg.geometry[lvl]
+        # Every sustained read consumes a distinct valid slot, so the
+        # policy sustain (S + Y) is capped by the slots actually
+        # refreshed; remote extension adds slots beyond the bucket.
+        self.sustain[bucket] = (
+            min(base.sustain_unextended, len(usable)) + granted_extension
+        )
+        self.reshuffles_by_level[lvl] += 1
+        return [int(s) for s in usable]
+
+    def needs_reshuffle(self, bucket: int) -> bool:
+        return self.count[bucket] >= self.sustain[bucket]
+
+    def set_status(self, bucket: int, slot: int, status: SlotStatus) -> None:
+        self.status[bucket, slot] = status
+
+    def get_status(self, bucket: int, slot: int) -> SlotStatus:
+        return SlotStatus(int(self.status[bucket, slot]))
+
+    def slot_generation(self, bucket: int, slot: int) -> int:
+        return int(self.generation[bucket, slot])
+
+    def write_dummy(self, bucket: int, slot: int) -> None:
+        """Write a fresh dummy into a specific slot (remote allocation)."""
+        self.slots[bucket, slot] = DUMMY
+
+    # --------------------------------------------------------- global scans
+
+    def total_dead_slots(self) -> int:
+        """Dead blocks in the whole tree (Fig. 2/3 metric).
+
+        Counts consumed slots that have not been reused: status DEAD or
+        QUEUED (queued slots still hold useless data until actually
+        rented).
+        """
+        st = self.status
+        return int(((st == SlotStatus.DEAD) | (st == SlotStatus.QUEUED)).sum())
+
+    def dead_slots_by_level(self) -> np.ndarray:
+        """Per-level dead-block census (Fig. 3)."""
+        dead = (self.status == SlotStatus.DEAD) | (self.status == SlotStatus.QUEUED)
+        per_bucket = dead.sum(axis=1)
+        out = np.zeros(self.cfg.levels, dtype=np.int64)
+        for lv in range(self.cfg.levels):
+            lo = (1 << lv) - 1
+            hi = (1 << (lv + 1)) - 1
+            out[lv] = per_bucket[lo:hi].sum()
+        return out
+
+    def real_blocks_resident(self) -> np.ndarray:
+        """Ids of every real block currently stored in the tree."""
+        flat = self.slots.ravel()
+        return flat[flat >= 0]

@@ -1,0 +1,103 @@
+"""Configuration serialization.
+
+Experiments should be replayable artifacts: a result file that cannot
+say exactly which geometry produced it is half a result. These helpers
+turn :class:`~repro.oram.config.OramConfig` into plain dicts / JSON and
+back, round-tripping every field including per-level geometry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.oram.config import BucketGeometry, OramConfig
+
+PathLike = Union[str, Path]
+
+_FORMAT = 1
+
+
+def geometry_to_dict(g: BucketGeometry) -> Dict[str, int]:
+    return {
+        "z_real": g.z_real,
+        "s_reserved": g.s_reserved,
+        "overlap": g.overlap,
+        "remote_extension": g.remote_extension,
+    }
+
+
+def geometry_from_dict(d: Dict[str, int]) -> BucketGeometry:
+    return BucketGeometry(
+        z_real=int(d["z_real"]),
+        s_reserved=int(d["s_reserved"]),
+        overlap=int(d.get("overlap", 0)),
+        remote_extension=int(d.get("remote_extension", 0)),
+    )
+
+
+def config_to_dict(cfg: OramConfig) -> Dict[str, object]:
+    """A JSON-safe dict capturing every configuration field.
+
+    Identical consecutive levels are run-length encoded, which keeps
+    the paper's 24-level configs readable.
+    """
+    runs: List[Dict[str, object]] = []
+    for g in cfg.geometry:
+        if runs and geometry_from_dict(runs[-1]["bucket"]) == g:
+            runs[-1]["count"] = int(runs[-1]["count"]) + 1
+        else:
+            runs.append({"count": 1, "bucket": geometry_to_dict(g)})
+    return {
+        "_format": _FORMAT,
+        "name": cfg.name,
+        "levels": cfg.levels,
+        "geometry_runs": runs,
+        "evict_rate": cfg.evict_rate,
+        "block_bytes": cfg.block_bytes,
+        "stash_capacity": cfg.stash_capacity,
+        "background_evict_threshold": cfg.background_evict_threshold,
+        "treetop_levels": cfg.treetop_levels,
+        "deadq_capacity": cfg.deadq_capacity,
+        "deadq_levels": list(cfg.deadq_levels),
+        "utilization": cfg.utilization,
+        "base_z_real": cfg.base_z_real,
+        "n_real_blocks": cfg.n_real_blocks,
+        "max_remote_slots": cfg.max_remote_slots,
+    }
+
+
+def config_from_dict(data: Dict[str, object]) -> OramConfig:
+    """Inverse of :func:`config_to_dict`."""
+    if data.get("_format") != _FORMAT:
+        raise ValueError(f"unsupported config format {data.get('_format')!r}")
+    geometry: List[BucketGeometry] = []
+    for run in data["geometry_runs"]:
+        geometry.extend(
+            [geometry_from_dict(run["bucket"])] * int(run["count"])
+        )
+    return OramConfig(
+        levels=int(data["levels"]),
+        geometry=tuple(geometry),
+        evict_rate=int(data["evict_rate"]),
+        block_bytes=int(data["block_bytes"]),
+        stash_capacity=int(data["stash_capacity"]),
+        background_evict_threshold=data["background_evict_threshold"],
+        treetop_levels=int(data["treetop_levels"]),
+        deadq_capacity=int(data["deadq_capacity"]),
+        deadq_levels=tuple(data["deadq_levels"]),
+        utilization=float(data["utilization"]),
+        base_z_real=data["base_z_real"],
+        n_real_blocks=data["n_real_blocks"],
+        max_remote_slots=int(data["max_remote_slots"]),
+        name=str(data["name"]),
+    )
+
+
+def save_config(cfg: OramConfig, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(config_to_dict(cfg), indent=1))
+
+
+def load_config(path: PathLike) -> OramConfig:
+    return config_from_dict(json.loads(Path(path).read_text()))

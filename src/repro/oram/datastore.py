@@ -1,0 +1,139 @@
+"""Encrypted, authenticated payload storage for the ORAM tree.
+
+The timing simulator only counts accesses; this module is the
+*functional* memory image for deployments and end-to-end tests: a byte
+array laid out exactly like the physical tree
+(:class:`~repro.mem.layout.TreeLayout`), where every slot holds a
+sealed 64B block -- ChaCha20-encrypted, MAC'd against its physical
+address and write version, and covered by a bucket-granular Merkle
+tree whose root stays on-chip (:mod:`repro.crypto`).
+
+The Ring ORAM controller drives it through two calls:
+
+- ``seal_slot(bucket, slot, plaintext)`` whenever a reshuffle (or a
+  remote allocation) writes a slot;
+- ``open_slot(bucket, slot)`` whenever a readPath/eviction consumes a
+  slot whose plaintext matters (the real target, a green block, or a
+  resident collected for eviction). Dummy reads are discarded
+  unverified, exactly as a real controller discards them undecrypted.
+
+Tamper anywhere -- payload bytes, a tag, a version, a Merkle digest --
+and the next ``open_slot`` of an affected block raises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.engine import SecureBlockEngine
+from repro.crypto.integrity import BucketMerkleTree
+from repro.mem.layout import TreeLayout
+from repro.oram.config import OramConfig
+
+import hashlib
+
+
+def pad_block(value: bytes, block_bytes: int = 64) -> bytes:
+    """Right-pad a payload to the block size (rejects oversize)."""
+    if not isinstance(value, (bytes, bytearray)):
+        raise TypeError(f"encrypted payloads must be bytes, got {type(value)}")
+    if len(value) > block_bytes:
+        raise ValueError(
+            f"payload of {len(value)} bytes exceeds the {block_bytes}B block"
+        )
+    return bytes(value) + b"\x00" * (block_bytes - len(value))
+
+
+class EncryptedTreeStore:
+    """Sealed byte image of the ORAM data tree."""
+
+    def __init__(
+        self,
+        cfg: OramConfig,
+        master_key: bytes,
+        seed: int = 0,
+        with_integrity: bool = True,
+    ) -> None:
+        self.cfg = cfg
+        self.layout = TreeLayout(cfg)
+        self.engine = SecureBlockEngine(master_key)
+        self._memory = bytearray(self.layout.data_bytes)
+        self._version = np.zeros((cfg.n_buckets, cfg.z_max), dtype=np.uint32)
+        self._tags: Dict[Tuple[int, int], bytes] = {}
+        self.integrity: Optional[BucketMerkleTree] = (
+            BucketMerkleTree(cfg.levels) if with_integrity else None
+        )
+        self._rng = np.random.default_rng(seed)
+        self.seals = 0
+        self.opens = 0
+
+    # ------------------------------------------------------------- sealing
+
+    def _offset(self, bucket: int, slot: int) -> int:
+        return self.layout.data_addr(bucket, slot) - self.layout.base_addr
+
+    def seal_slot(self, bucket: int, slot: int, plaintext: bytes) -> None:
+        """Encrypt + authenticate one slot and update the Merkle path."""
+        plaintext = pad_block(plaintext, self.cfg.block_bytes)
+        addr = self.layout.data_addr(bucket, slot)
+        version = int(self._version[bucket, slot]) + 1
+        self._version[bucket, slot] = version
+        ciphertext, tag = self.engine.seal(addr, version, plaintext)
+        off = self._offset(bucket, slot)
+        self._memory[off:off + self.cfg.block_bytes] = ciphertext
+        self._tags[(bucket, slot)] = tag
+        if self.integrity is not None:
+            self.integrity.update_bucket(bucket, self._content_digest(bucket))
+        self.seals += 1
+
+    def seal_dummy(self, bucket: int, slot: int) -> None:
+        """Seal fresh random bytes (dummies must look like data)."""
+        noise = self._rng.integers(0, 256, self.cfg.block_bytes,
+                                   dtype=np.uint8).tobytes()
+        self.seal_slot(bucket, slot, noise)
+
+    # ------------------------------------------------------------- opening
+
+    def open_slot(self, bucket: int, slot: int) -> bytes:
+        """Verify (MAC + Merkle) and decrypt one slot."""
+        key = (bucket, slot)
+        if key not in self._tags:
+            raise KeyError(f"slot {key} was never sealed")
+        if self.integrity is not None:
+            self.integrity.verify_bucket(bucket)
+        addr = self.layout.data_addr(bucket, slot)
+        off = self._offset(bucket, slot)
+        ciphertext = bytes(self._memory[off:off + self.cfg.block_bytes])
+        version = int(self._version[bucket, slot])
+        self.opens += 1
+        return self.engine.open(addr, version, ciphertext, self._tags[key])
+
+    # ----------------------------------------------------------- integrity
+
+    def _content_digest(self, bucket: int) -> bytes:
+        """Digest of a bucket's tags + versions (Merkle leaf content)."""
+        z = self.cfg.geometry[
+            (bucket + 1).bit_length() - 1
+        ].z_total
+        h = hashlib.sha256()
+        h.update(self._version[bucket, :z].tobytes())
+        for s in range(z):
+            h.update(self._tags.get((bucket, s), b"\x00" * 8))
+        return h.digest()
+
+    # -------------------------------------------------------- attack hooks
+
+    def tamper_payload(self, bucket: int, slot: int, flip_byte: int = 0) -> None:
+        """Flip one ciphertext byte in memory (for tamper tests)."""
+        off = self._offset(bucket, slot) + flip_byte
+        self._memory[off] ^= 0xFF
+
+    def tamper_version(self, bucket: int, slot: int) -> None:
+        """Roll a slot's version back (replay attempt)."""
+        self._version[bucket, slot] = max(0, int(self._version[bucket, slot]) - 1)
+
+    def raw_ciphertext(self, bucket: int, slot: int) -> bytes:
+        off = self._offset(bucket, slot)
+        return bytes(self._memory[off:off + self.cfg.block_bytes])

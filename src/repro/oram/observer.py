@@ -1,0 +1,56 @@
+"""Observer interface for ORAM controllers.
+
+Controllers broadcast protocol events to attached observers; the
+security attacker (:mod:`repro.core.security`) and the dead-block
+analyses (:mod:`repro.analysis.deadblocks`) are implemented on top of
+this. Subclass :class:`BaseObserver` and override what you need -- all
+hooks default to no-ops.
+
+Events:
+
+- ``on_access_start(access_no)`` -- an online access begins.
+- ``on_read_path(leaf, reads, target_bucket)`` -- a path was read;
+  ``reads`` is the list of (bucket, slot, level, remote) tuples, where
+  ``bucket`` is the *logical* bucket served (for a remote read the
+  physical slot lives elsewhere).
+- ``on_slot_dead(bucket, slot, level)`` -- a physical slot was consumed
+  (it now holds useless data).
+- ``on_slot_reclaimed(bucket, slot, level, how)`` -- a dead slot's
+  space was reused: ``how`` is ``"reshuffle"`` (rewritten by its own
+  bucket) or ``"remote"`` (rented to another bucket).
+- ``on_reshuffle(bucket, level, kind)`` -- a bucket was rewritten.
+- ``on_evict_path(leaf)`` -- an evictPath completed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class BaseObserver:
+    """No-op implementation of every controller event hook."""
+
+    def on_access_start(self, access_no: int) -> None:
+        pass
+
+    def on_read_path(
+        self,
+        leaf: int,
+        reads: List[Tuple[int, int, int, bool]],
+        target_bucket: int,
+    ) -> None:
+        pass
+
+    def on_slot_dead(self, bucket: int, slot: int, level: int) -> None:
+        pass
+
+    def on_slot_reclaimed(
+        self, bucket: int, slot: int, level: int, how: str
+    ) -> None:
+        pass
+
+    def on_reshuffle(self, bucket: int, level: int, kind) -> None:
+        pass
+
+    def on_evict_path(self, leaf: int) -> None:
+        pass

@@ -1,0 +1,615 @@
+"""The Ring ORAM controller.
+
+Implements the three protocol operations of Ren et al.'s Ring ORAM as
+described in the paper's section III-B, with Bucket Compaction (Cao et
+al., the paper's baseline) integrated:
+
+- ``readPath`` (online): metadata pass over the path, then one block
+  read per bucket -- the target block from the bucket that holds it, a
+  valid dummy from every other bucket. When a bucket's dummies are
+  exhausted the read returns a *green* block from the Z' portion (CB
+  overlap); a real green block moves to the stash.
+- ``evictPath`` (offline): after every ``A`` online accesses, reshuffle
+  the path chosen by the reverse-lexicographic order.
+- ``earlyReshuffle`` (offline): reshuffle any bucket that has absorbed
+  its sustain count of reads.
+
+Background eviction (from CB): while the stash occupancy exceeds the
+configured threshold, dummy accesses are issued (they advance the
+evictPath schedule and therefore drain the stash).
+
+With AB-ORAM extensions attached (:class:`repro.core.remote
+.RemoteAllocator`), a bucket at a DR level owns up to ``r`` additional
+*remote* slots rented from dead blocks of its level. Reshuffles scatter
+the bucket's contents uniformly over local + remote positions, so a
+remote read (real or dummy) is indistinguishable from a local one; the
+only observable difference is the redirected address -- which is public
+by design.
+
+The controller narrates every memory touch to a
+:class:`~repro.oram.stats.MemorySink`; accesses to treetop-cached
+levels are flagged on-chip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.oram import tree as tree_mod
+from repro.oram.bucket import BucketStore, DUMMY, SlotStatus
+from repro.oram.config import OramConfig
+from repro.oram.position_map import PositionMap
+from repro.oram.plb import RecursivePosMap
+from repro.oram.stash import Stash
+from repro.oram.stats import CountingSink, MemorySink, OpKind
+
+# Safety valve: background eviction should drain the stash within a few
+# evictPath rounds; this many dummy accesses in a single drain means the
+# configuration is unsound.
+_MAX_BACKGROUND_BURST = 2000
+
+
+class ProtocolError(RuntimeError):
+    """An invariant of the Ring ORAM protocol was violated."""
+
+
+class RingOram:
+    """A functional Ring ORAM instance over one configuration."""
+
+    def __init__(
+        self,
+        cfg: OramConfig,
+        sink: Optional[MemorySink] = None,
+        seed: int = 0,
+        extensions: Optional[Any] = None,
+        observers: Sequence[Any] = (),
+        store_data: bool = False,
+        datastore: Optional[Any] = None,
+        posmap_mode: str = "onchip",
+        plb_entries: int = 4096,
+    ) -> None:
+        self.cfg = cfg
+        self.sink = sink if sink is not None else CountingSink(cfg.levels)
+        self.rng = np.random.default_rng(seed)
+        self.store = BucketStore(cfg)
+        self.stash = Stash(cfg.stash_capacity)
+        self.posmap = PositionMap(cfg.n_real_blocks, cfg.n_leaves, self.rng)
+        self.ext = extensions
+        self.observers = list(observers)
+        # Payload handling: `datastore` (an EncryptedTreeStore) routes
+        # real byte payloads through the sealed memory image; plain
+        # `store_data` keeps a convenience plaintext dict instead.
+        self.datastore = datastore
+        self._stash_payload: Dict[int, bytes] = {}
+        self._data: Optional[Dict[int, Any]] = (
+            {} if store_data and datastore is None else None
+        )
+        if posmap_mode not in ("onchip", "recursive"):
+            raise ValueError(f"unknown posmap_mode {posmap_mode!r}")
+        self.posmap_model: Optional[RecursivePosMap] = (
+            RecursivePosMap(cfg.n_real_blocks, plb_entries=plb_entries)
+            if posmap_mode == "recursive" else None
+        )
+        self.evict_counter = 0
+        self.online_accesses = 0       # real + stash-hit accesses (paper's X axis)
+        self.accesses_since_evict = 0
+        self.background_accesses = 0
+        if self.ext is not None:
+            self.ext.bind(self)
+            from repro.oram.metadata import ab_metadata_fields, metadata_blocks
+            self.metadata_blocks = metadata_blocks(cfg, ab_metadata_fields(cfg))
+        else:
+            from repro.oram.metadata import metadata_blocks, ring_metadata_fields
+            self.metadata_blocks = metadata_blocks(cfg, ring_metadata_fields(cfg))
+
+    # ----------------------------------------------------------- public API
+
+    def access(self, block: int, write: bool = False, value: Any = None) -> Any:
+        """Service one user request for ``block``; returns its payload.
+
+        This is the full online protocol step: position-map lookup,
+        readPath, remap, plus any maintenance the access triggers
+        (earlyReshuffles, the scheduled evictPath, background
+        eviction).
+        """
+        if not 0 <= block < self.cfg.n_real_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self.cfg.n_real_blocks})"
+            )
+        if self.posmap_model is not None:
+            # Each PLB miss fetches one position-map block: a full,
+            # protocol-complete ORAM access of its own (Freecursive).
+            for _ in range(self.posmap_model.access(block)):
+                pm_leaf = int(self.rng.integers(self.cfg.n_leaves))
+                pm_pending = self._read_path(pm_leaf, target=None,
+                                             kind=OpKind.POSMAP)
+                for b in pm_pending:
+                    if self.store.needs_reshuffle(b):
+                        self._early_reshuffle(b)
+                self.accesses_since_evict += 1
+                if self.accesses_since_evict >= self.cfg.evict_rate:
+                    self.accesses_since_evict = 0
+                    self._evict_path()
+        leaf = self.posmap.lookup(block)
+        self.online_accesses += 1
+        for obs in self.observers:
+            obs.on_access_start(self.online_accesses)
+        pending = self._read_path(leaf, target=block, kind=OpKind.READ_PATH)
+        # Remap to a fresh path; the block stays in the stash until an
+        # eviction writes it back.
+        new_leaf = self.posmap.remap(block)
+        if block in self.stash:
+            self.stash.remap(block, new_leaf)
+        else:
+            # First touch of a block that was never written to the tree.
+            self.stash.add(block, new_leaf)
+        if self.datastore is not None:
+            if write:
+                from repro.oram.datastore import pad_block
+                self._stash_payload[block] = pad_block(
+                    value, self.cfg.block_bytes
+                )
+            result = self._stash_payload.get(block)
+        else:
+            if write and self._data is not None:
+                self._data[block] = value
+            result = self._data.get(block) if self._data is not None else None
+        self._run_maintenance(pending)
+        return result
+
+    def read(self, block: int) -> Any:
+        return self.access(block, write=False)
+
+    def write(self, block: int, value: Any) -> None:
+        self.access(block, write=True, value=value)
+
+    def warm_fill(self) -> int:
+        """Pre-place every block in the tree (random leaf, deepest fit).
+
+        Mimics a long warm-up run: blocks sit as close to their leaf as
+        capacity allows. Returns how many blocks overflowed to the
+        stash (should be ~0 at 50% utilization).
+        """
+        cfg = self.cfg
+        overflow = 0
+        order = self.rng.permutation(cfg.n_real_blocks)
+        real_cnt = np.zeros(cfg.n_buckets, dtype=np.int32)
+        for block in order:
+            block = int(block)
+            leaf = int(self.rng.integers(cfg.n_leaves))
+            self.posmap.set_leaf(block, leaf)
+            placed = False
+            for lv in range(cfg.levels - 1, -1, -1):
+                b = (1 << lv) - 1 + (leaf >> (cfg.levels - 1 - lv))
+                if real_cnt[b] >= cfg.geometry[lv].z_real:
+                    continue
+                dummies = self.store.valid_dummy_slots(b)
+                if not dummies.size:
+                    continue
+                self.store.slots[b, dummies[0]] = block
+                if self.datastore is not None:
+                    self.datastore.seal_slot(b, int(dummies[0]), b"\x00" * 64)
+                real_cnt[b] += 1
+                placed = True
+                break
+            if not placed:
+                self.stash.add(block, leaf)
+                overflow += 1
+        return overflow
+
+    # -------------------------------------------------------------- readPath
+
+    def _read_path(
+        self, leaf: int, target: Optional[int], kind: OpKind
+    ) -> List[int]:
+        """One Ring ORAM path read. Returns buckets now due a reshuffle."""
+        cfg = self.cfg
+        sink = self.sink
+        store = self.store
+        buckets = tree_mod.path_buckets(leaf, cfg.levels)
+        sink.begin_op(kind)
+        # -- metadata pass (read now, write back at the end of the access)
+        for b in buckets:
+            lv = store.level(b)
+            sink.metadata_access(b, lv, write=False,
+                                 onchip=lv < cfg.treetop_levels,
+                                 blocks=self.metadata_blocks)
+            if self.ext is not None:
+                self.ext.gather(b, lv)
+        # -- locate the target (the metadata identifies its bucket + slot)
+        target_bucket = -1
+        target_slot = -1
+        target_remote: Optional[Tuple[int, int]] = None
+        if target is not None:
+            for b in buckets:
+                s = store.find_block(b, target)
+                if s >= 0:
+                    target_bucket, target_slot = b, s
+                    break
+                if self.ext is not None:
+                    host = self.ext.find_remote_block(b, target)
+                    if host is not None:
+                        target_bucket, target_remote = b, host
+                        break
+        # -- block pass: one read per bucket
+        reads: List[Tuple[int, int, int, bool]] = []
+        for b in buckets:
+            lv = store.level(b)
+            if b == target_bucket:
+                if target_remote is not None:
+                    hb, hs = target_remote
+                    self._capture_payload(target, hb, hs)
+                    blockval = self.ext.consume_remote(b, target_remote)
+                    hlv = store.level(hb)
+                    self._notify_dead(hb, hs, hlv)
+                    sink.data_access(hb, hs, hlv, write=False,
+                                     onchip=hlv < cfg.treetop_levels,
+                                     remote=True)
+                    reads.append((b, hs, hlv, True))
+                else:
+                    self._capture_payload(target, b, target_slot)
+                    blockval = store.consume(b, target_slot)
+                    self._notify_dead(b, target_slot, lv)
+                    sink.data_access(b, target_slot, lv, write=False,
+                                     onchip=lv < cfg.treetop_levels)
+                    reads.append((b, target_slot, lv, False))
+                self.stash.add(blockval, self.posmap.peek(blockval))
+                continue
+            self._read_nontarget(b, lv, reads)
+        # -- metadata write-back
+        for b in buckets:
+            lv = store.level(b)
+            sink.metadata_access(b, lv, write=True,
+                                 onchip=lv < cfg.treetop_levels,
+                                 blocks=self.metadata_blocks)
+        sink.end_op()
+        for obs in self.observers:
+            obs.on_read_path(leaf, reads, target_bucket)
+        return [b for b in buckets if store.needs_reshuffle(b)]
+
+    def _read_nontarget(
+        self, b: int, lv: int, reads: List[Tuple[int, int, int, bool]]
+    ) -> None:
+        """Read a non-target block from bucket ``b``.
+
+        Dummies first (uniformly among local + remote ones), then green
+        blocks (a valid slot holding real content -- local or remote --
+        whose block spills to the stash). The sustain accounting
+        guarantees at least one valid slot exists.
+        """
+        store = self.store
+        sink = self.sink
+        onchip = lv < self.cfg.treetop_levels
+        rentals = self.ext.rentals_of(b) if self.ext is not None else []
+        local_dummies = store.valid_dummy_slots(b)
+        remote_dummies = [(hb, hs) for hb, hs, c in rentals if c == DUMMY]
+        n_dummies = local_dummies.size + len(remote_dummies)
+        if n_dummies:
+            pick = int(self.rng.integers(n_dummies))
+            if pick < local_dummies.size:
+                slot = int(local_dummies[pick])
+                store.consume(b, slot)
+                self._notify_dead(b, slot, lv)
+                sink.data_access(b, slot, lv, write=False, onchip=onchip)
+                reads.append((b, slot, lv, False))
+            else:
+                host = remote_dummies[pick - local_dummies.size]
+                self.ext.consume_remote(b, host)
+                hb, hs = host
+                hlv = store.level(hb)
+                self._notify_dead(hb, hs, hlv)
+                sink.data_access(hb, hs, hlv, write=False,
+                                 onchip=hlv < self.cfg.treetop_levels,
+                                 remote=True)
+                reads.append((b, hs, hlv, True))
+            return
+        # Green block: a valid real slot is consumed; the real block
+        # returns to the processor and must stay in the stash (CB,
+        # paper section III-C).
+        local_greens = store.valid_real_slots(b)
+        remote_greens = [(hb, hs) for hb, hs, c in rentals if c >= 0]
+        n_greens = local_greens.size + len(remote_greens)
+        if not n_greens:
+            raise ProtocolError(
+                f"bucket {b} (level {lv}) has no readable slot: "
+                f"count={store.count[b]} sustain={store.sustain[b]}"
+            )
+        pick = int(self.rng.integers(n_greens))
+        if pick < local_greens.size:
+            slot = int(local_greens[pick])
+            self._capture_payload(int(store.slots[b, slot]), b, slot)
+            blockval = store.consume(b, slot)
+            self._notify_dead(b, slot, lv)
+            sink.data_access(b, slot, lv, write=False, onchip=onchip)
+            reads.append((b, slot, lv, False))
+        else:
+            host = remote_greens[pick - local_greens.size]
+            hb, hs = host
+            for rhb, rhs, content in rentals:
+                if (rhb, rhs) == host:
+                    self._capture_payload(content, rhb, rhs)
+                    break
+            blockval = self.ext.consume_remote(b, host)
+            hlv = store.level(hb)
+            self._notify_dead(hb, hs, hlv)
+            sink.data_access(hb, hs, hlv, write=False,
+                             onchip=hlv < self.cfg.treetop_levels, remote=True)
+            reads.append((b, hs, hlv, True))
+        self.stash.add(blockval, self.posmap.peek(blockval))
+
+    # ---------------------------------------------------------- maintenance
+
+    def _run_maintenance(self, pending_reshuffles: List[int]) -> None:
+        for b in pending_reshuffles:
+            if self.store.needs_reshuffle(b):
+                self._early_reshuffle(b)
+        self.accesses_since_evict += 1
+        if self.accesses_since_evict >= self.cfg.evict_rate:
+            self.accesses_since_evict = 0
+            self._evict_path()
+        self._background_evict()
+
+    def _collect_residents(self, b: int) -> None:
+        """Move all of ``b``'s remaining real blocks into the stash.
+
+        Covers both local slots and (for AB) unconsumed remote slots,
+        whose rental round ends here.
+        """
+        store = self.store
+        resident_slots = store.valid_real_slots(b)
+        residents = [int(x) for x in store.row(b)[resident_slots]]
+        if self.datastore is not None:
+            for blk, slot in zip(residents, resident_slots):
+                self._capture_payload(blk, b, int(slot))
+        if self.ext is not None:
+            if self.datastore is not None:
+                for hb, hs, content in self.ext.rentals_of(b):
+                    self._capture_payload(content, hb, hs)
+            remote_reals, released = self.ext.reclaim(b)
+            residents.extend(remote_reals)
+            for hb, hs in released:
+                # The released host slot holds stale data again.
+                self._notify_dead(hb, hs, store.level(hb))
+        for blk in residents:
+            self.stash.add(blk, self.posmap.peek(blk))
+
+    def _early_reshuffle(self, b: int) -> None:
+        """Reshuffle one saturated bucket (offline access)."""
+        cfg = self.cfg
+        store = self.store
+        sink = self.sink
+        lv = store.level(b)
+        onchip = lv < cfg.treetop_levels
+        sink.begin_op(OpKind.EARLY_RESHUFFLE)
+        sink.metadata_access(b, lv, write=False, onchip=onchip,
+                             blocks=self.metadata_blocks)
+        # Read phase: Z' reads (valid real blocks padded with dummies --
+        # the read count, not the real count, is what memory sees).
+        for _ in range(cfg.geometry[lv].z_real):
+            sink.data_access(b, 0, lv, write=False, onchip=onchip)
+        self._collect_residents(b)
+        self._refill_bucket(b, lv)
+        sink.metadata_access(b, lv, write=True, onchip=onchip,
+                             blocks=self.metadata_blocks)
+        sink.end_op()
+        for obs in self.observers:
+            obs.on_reshuffle(b, lv, OpKind.EARLY_RESHUFFLE)
+
+    def _evict_path(self) -> None:
+        """Scheduled path reshuffle in reverse-lexicographic order."""
+        cfg = self.cfg
+        store = self.store
+        sink = self.sink
+        leaf = tree_mod.reverse_lexicographic_leaf(self.evict_counter, cfg.levels)
+        self.evict_counter += 1
+        buckets = tree_mod.path_buckets(leaf, cfg.levels)
+        sink.begin_op(OpKind.EVICT_PATH)
+        # Read phase: Z' reads per bucket; reals move to the stash.
+        for b in buckets:
+            lv = store.level(b)
+            onchip = lv < cfg.treetop_levels
+            sink.metadata_access(b, lv, write=False, onchip=onchip,
+                                 blocks=self.metadata_blocks)
+            for _ in range(cfg.geometry[lv].z_real):
+                sink.data_access(b, 0, lv, write=False, onchip=onchip)
+            self._collect_residents(b)
+        # Write phase: leaf to root, greedy deepest placement.
+        for b in reversed(buckets):
+            lv = store.level(b)
+            self._refill_bucket(b, lv)
+            sink.metadata_access(b, lv, write=True,
+                                 onchip=lv < cfg.treetop_levels,
+                                 blocks=self.metadata_blocks)
+        sink.end_op()
+        for obs in self.observers:
+            obs.on_evict_path(leaf)
+            for b in buckets:
+                obs.on_reshuffle(b, store.level(b), OpKind.EVICT_PATH)
+
+    def _refill_bucket(self, b: int, lv: int) -> None:
+        """Shared write phase of evictPath / earlyReshuffle for bucket ``b``.
+
+        Renews the AB remote extension, picks stash blocks that may live
+        in ``b``, scatters them uniformly over local + remote positions,
+        rewrites every usable slot, and reports the writes.
+        """
+        cfg = self.cfg
+        store = self.store
+        sink = self.sink
+        onchip = lv < cfg.treetop_levels
+        usable = store.usable_slots(b)
+        reclaimed_dead: List[int] = []
+        if self.observers:
+            st = store.status[b, usable]
+            reclaimed_dead = [
+                int(s) for s, v in zip(usable, st)
+                if v in (SlotStatus.DEAD, SlotStatus.QUEUED)
+            ]
+        granted = 0
+        hosts: List[Tuple[int, int]] = []
+        if self.ext is not None:
+            granted, hosts = self.ext.acquire(b, lv)
+            for hb, hs in hosts:
+                hlv = store.level(hb)
+                for obs in self.observers:
+                    obs.on_slot_reclaimed(hb, hs, hlv, "remote")
+        capacity = min(cfg.geometry[lv].z_real, len(usable) + granted)
+        chosen = self._pick_stash_blocks(b, lv, capacity)
+        # Scatter real blocks uniformly across local + remote positions
+        # so a remote read is indistinguishable from a local one.
+        n_positions = len(usable) + len(hosts)
+        remote_content: Dict[Tuple[int, int], int] = {h: DUMMY for h in hosts}
+        local_reals: List[int] = []
+        if chosen:
+            positions = self.rng.choice(n_positions, size=len(chosen),
+                                        replace=False)
+            for blk, pos in zip(chosen, positions):
+                self.stash.remove(blk)
+                if pos < len(usable):
+                    local_reals.append(blk)
+                else:
+                    remote_content[hosts[int(pos) - len(usable)]] = blk
+        written = store.refresh(b, local_reals, granted_extension=granted)
+        for slot in reclaimed_dead:
+            for obs in self.observers:
+                obs.on_slot_reclaimed(b, slot, lv, "reshuffle")
+        for slot in written:
+            if self.datastore is not None:
+                content = int(store.slots[b, slot])
+                if content >= 0:
+                    self.datastore.seal_slot(
+                        b, slot,
+                        self._stash_payload.pop(content, b"\x00" * 64),
+                    )
+                else:
+                    self.datastore.seal_dummy(b, slot)
+            sink.data_access(b, slot, lv, write=True, onchip=onchip)
+        for host in hosts:
+            if self.ext is not None:
+                self.ext.write_remote(b, host, remote_content[host])
+            hb, hs = host
+            if self.datastore is not None:
+                content = remote_content[host]
+                if content >= 0:
+                    self.datastore.seal_slot(
+                        hb, hs,
+                        self._stash_payload.pop(content, b"\x00" * 64),
+                    )
+                else:
+                    self.datastore.seal_dummy(hb, hs)
+            hlv = store.level(hb)
+            sink.data_access(hb, hs, hlv, write=True,
+                             onchip=hlv < cfg.treetop_levels, remote=True)
+
+    def _pick_stash_blocks(self, b: int, lv: int, capacity: int) -> List[int]:
+        """Stash blocks placeable in bucket ``b`` (path membership).
+
+        The classic deepest-placement greedy of evictPath emerges from
+        refilling leaf-to-root: a block eligible for a deeper bucket on
+        the eviction path was already taken by that bucket.
+        """
+        if capacity <= 0:
+            return []
+        cfg = self.cfg
+        position = tree_mod.position_of(b)
+        shift = cfg.levels - 1 - lv
+        eligible: List[int] = []
+        for blk, blk_leaf in self.stash.blocks():
+            if (blk_leaf >> shift) == position:
+                eligible.append(blk)
+                if len(eligible) >= capacity:
+                    break
+        return eligible
+
+    def _background_evict(self) -> None:
+        """CB background eviction: dummy accesses until the stash drains."""
+        cfg = self.cfg
+        burst = 0
+        while self.stash.occupancy > cfg.background_evict_threshold:
+            burst += 1
+            if burst > _MAX_BACKGROUND_BURST:
+                raise ProtocolError(
+                    f"background eviction cannot drain the stash "
+                    f"(occupancy {self.stash.occupancy})"
+                )
+            self.background_accesses += 1
+            leaf = int(self.rng.integers(cfg.n_leaves))
+            pending = self._read_path(leaf, target=None, kind=OpKind.BACKGROUND)
+            for b in pending:
+                if self.store.needs_reshuffle(b):
+                    self._early_reshuffle(b)
+            self.accesses_since_evict += 1
+            if self.accesses_since_evict >= cfg.evict_rate:
+                self.accesses_since_evict = 0
+                self._evict_path()
+
+    # ------------------------------------------------------------ internals
+
+    def _notify_dead(self, b: int, slot: int, lv: int) -> None:
+        for obs in self.observers:
+            obs.on_slot_dead(b, slot, lv)
+
+    def _capture_payload(self, block: int, bucket: int, slot: int) -> None:
+        """Decrypt+verify a consumed real block into the stash payloads."""
+        if self.datastore is not None and block >= 0:
+            self._stash_payload[block] = self.datastore.open_slot(bucket, slot)
+
+    # ------------------------------------------------------------- checking
+
+    def check_invariants(self) -> None:
+        """Verify global protocol invariants (test hook).
+
+        Every mapped block lives in exactly one place (stash, a tree
+        slot, or a rented remote slot); every tree-resident block lies
+        on the path of its mapped leaf; no bucket holds more than Z'
+        real blocks.
+        """
+        cfg = self.cfg
+        seen: Dict[int, str] = {}
+        for blk, _leaf in self.stash.blocks():
+            seen[blk] = "stash"
+        rows = self.store.slots
+        for b, s in np.argwhere(rows >= 0):
+            blk = int(rows[b, s])
+            if blk in seen:
+                raise AssertionError(
+                    f"block {blk} duplicated: {seen[blk]} and bucket {int(b)}"
+                )
+            seen[blk] = f"bucket {int(b)}"
+            leaf = self.posmap.peek(blk)
+            if leaf < 0:
+                raise AssertionError(f"resident block {blk} unmapped")
+            if not tree_mod.bucket_on_path(int(b), leaf, cfg.levels):
+                raise AssertionError(
+                    f"block {blk} in bucket {int(b)} off its path (leaf {leaf})"
+                )
+        if self.ext is not None:
+            for owner, blk in self.ext.remote_real_blocks():
+                if blk in seen:
+                    raise AssertionError(
+                        f"block {blk} duplicated: {seen[blk]} and remote "
+                        f"slot of bucket {owner}"
+                    )
+                seen[blk] = f"remote of {owner}"
+                leaf = self.posmap.peek(blk)
+                if not tree_mod.bucket_on_path(owner, leaf, cfg.levels):
+                    raise AssertionError(
+                        f"remote block {blk} owned by off-path bucket {owner}"
+                    )
+        reals_per_bucket = (rows >= 0).sum(axis=1)
+        z_real_per_bucket = np.array(
+            [g.z_real for g in cfg.geometry], dtype=np.int64
+        )[self.store.level_of_bucket]
+        over = np.nonzero(reals_per_bucket > z_real_per_bucket)[0]
+        if over.size:
+            b = int(over[0])
+            raise AssertionError(
+                f"bucket {b} holds {int(reals_per_bucket[b])} reals "
+                f"> Z'={int(z_real_per_bucket[b])}"
+            )
+        mapped = set(int(x) for x in self.posmap.mapped_blocks())
+        missing = mapped.difference(seen)
+        if missing:
+            raise AssertionError(f"mapped blocks lost: {sorted(missing)[:5]}...")

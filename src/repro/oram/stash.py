@@ -1,0 +1,104 @@
+"""The on-chip stash.
+
+The stash buffers real blocks between the moment a path/bucket read
+pulls them on-chip and the moment an ``evictPath`` (or, for Ring ORAM,
+an ``earlyReshuffle`` piggy-back) writes them back into the tree. Every
+resident block carries its current leaf label; eviction placement is
+decided by how deep that label's path intersects the eviction path.
+
+The stash has a hard ``capacity``; the ORAM protocols are parameterized
+(utilization 50%, background eviction) so that this bound is essentially
+never hit, and :class:`StashOverflowError` flags a mis-configuration
+rather than an expected runtime event. Peak occupancy is tracked because
+the paper's CB baseline keys background eviction off it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.oram.tree import intersection_level
+
+
+class StashOverflowError(RuntimeError):
+    """Raised when the stash exceeds its configured capacity."""
+
+
+class Stash:
+    """Map of resident real blocks to their current leaf labels."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"stash capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._blocks: Dict[int, int] = {}
+        self.peak_occupancy = 0
+        self.total_inserts = 0
+        self.overflow_events = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._blocks
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._blocks)
+
+    def leaf_of(self, block: int) -> int:
+        """Current leaf label of a resident block."""
+        return self._blocks[block]
+
+    def add(self, block: int, leaf: int) -> None:
+        """Insert (or update) a resident block."""
+        if block < 0:
+            raise ValueError(f"negative block id {block}")
+        self._blocks[block] = leaf
+        self.total_inserts += 1
+        if len(self._blocks) > self.peak_occupancy:
+            self.peak_occupancy = len(self._blocks)
+        if len(self._blocks) > self.capacity:
+            self.overflow_events += 1
+            raise StashOverflowError(
+                f"stash overflow: {len(self._blocks)} > capacity {self.capacity}"
+            )
+
+    def remap(self, block: int, new_leaf: int) -> None:
+        """Update the leaf label of a resident block."""
+        if block not in self._blocks:
+            raise KeyError(f"block {block} not in stash")
+        self._blocks[block] = new_leaf
+
+    def remove(self, block: int) -> int:
+        """Remove a block; returns its leaf label."""
+        return self._blocks.pop(block)
+
+    def blocks(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over ``(block, leaf)`` pairs (snapshot order unspecified)."""
+        return self._blocks.items()
+
+    def candidates_for(
+        self,
+        evict_leaf: int,
+        min_level: int,
+        levels: int,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[int, int]]:
+        """Resident blocks placeable at ``min_level`` or deeper on a path.
+
+        A block labelled ``leaf`` may live in any bucket shared by the
+        paths of ``leaf`` and ``evict_leaf``, i.e. at levels up to their
+        intersection level. Returns ``(block, intersection_level)``
+        pairs, deepest-eligible first, which is the greedy order
+        evictPath uses to push blocks toward the leaves.
+        """
+        found: List[Tuple[int, int]] = []
+        for block, leaf in self._blocks.items():
+            deepest = intersection_level(leaf, evict_leaf, levels)
+            if deepest >= min_level:
+                found.append((block, deepest))
+        found.sort(key=lambda item: -item[1])
+        if limit is not None:
+            return found[:limit]
+        return found

@@ -1,0 +1,215 @@
+"""Operation accounting shared by all ORAM controllers.
+
+Controllers narrate their memory behaviour to a *sink*: every operation
+(readPath, evictPath, earlyReshuffle, background-eviction dummy work) is
+bracketed by ``begin_op``/``end_op`` and every block or metadata touch
+inside it is reported with its tree coordinates. Sinks decide what to do
+with that stream:
+
+- :class:`CountingSink` tallies counts (used by unit tests and the
+  analytic figures);
+- ``repro.sim.engine.DramSink`` forwards off-chip touches to the DRAM
+  timing model to produce execution times.
+
+Accesses to treetop-cached levels are reported with ``onchip=True`` so
+sinks can exclude them from memory traffic while analyses can still see
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class OpKind(enum.Enum):
+    """Protocol operation classes (the paper's Fig. 8c breakdown)."""
+
+    READ_PATH = "readPath"
+    EVICT_PATH = "evictPath"
+    EARLY_RESHUFFLE = "earlyReshuffle"
+    BACKGROUND = "background"
+    POSMAP = "posMap"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class MemorySink:
+    """Interface controllers talk to. Base implementation ignores everything."""
+
+    def begin_op(self, kind: OpKind) -> None:
+        """An operation of class ``kind`` starts."""
+
+    def data_access(
+        self,
+        bucket: int,
+        slot: int,
+        level: int,
+        write: bool,
+        onchip: bool = False,
+        remote: bool = False,
+    ) -> None:
+        """One data-block touch at ``(bucket, slot)``."""
+
+    def metadata_access(
+        self,
+        bucket: int,
+        level: int,
+        write: bool,
+        onchip: bool = False,
+        blocks: int = 1,
+    ) -> None:
+        """One bucket-metadata touch (``blocks`` 64B units)."""
+
+    def end_op(self) -> None:
+        """The current operation finished."""
+
+
+@dataclass
+class OpCounters:
+    """Access tallies for one operation class."""
+
+    ops: int = 0
+    data_reads: int = 0
+    data_writes: int = 0
+    meta_reads: int = 0
+    meta_writes: int = 0
+    onchip_accesses: int = 0
+    remote_accesses: int = 0
+
+    @property
+    def offchip_accesses(self) -> int:
+        return self.data_reads + self.data_writes + self.meta_reads + self.meta_writes
+
+
+class CountingSink(MemorySink):
+    """Tally sink: counts per operation class and per tree level."""
+
+    def __init__(self, levels: int) -> None:
+        self.levels = levels
+        self.by_kind: Dict[OpKind, OpCounters] = {k: OpCounters() for k in OpKind}
+        self.data_reads_by_level = np.zeros(levels, dtype=np.int64)
+        self.data_writes_by_level = np.zeros(levels, dtype=np.int64)
+        self._current: Optional[OpKind] = None
+        self.unattributed_accesses = 0
+
+    def reset(self) -> None:
+        """Zero all counters (e.g. at the end of a warm-up phase)."""
+        self.by_kind = {k: OpCounters() for k in OpKind}
+        self.data_reads_by_level[:] = 0
+        self.data_writes_by_level[:] = 0
+        self.unattributed_accesses = 0
+
+    def begin_op(self, kind: OpKind) -> None:
+        if self._current is not None:
+            raise RuntimeError(f"nested operation: {kind} inside {self._current}")
+        self._current = kind
+        self.by_kind[kind].ops += 1
+
+    def _counters(self) -> OpCounters:
+        if self._current is None:
+            # Tolerate stray accesses (e.g. initialization fill) but flag them.
+            self.unattributed_accesses += 1
+            return OpCounters()
+        return self.by_kind[self._current]
+
+    def data_access(
+        self,
+        bucket: int,
+        slot: int,
+        level: int,
+        write: bool,
+        onchip: bool = False,
+        remote: bool = False,
+    ) -> None:
+        c = self._counters()
+        if onchip:
+            c.onchip_accesses += 1
+            return
+        if remote:
+            c.remote_accesses += 1
+        if write:
+            c.data_writes += 1
+            self.data_writes_by_level[level] += 1
+        else:
+            c.data_reads += 1
+            self.data_reads_by_level[level] += 1
+
+    def metadata_access(
+        self,
+        bucket: int,
+        level: int,
+        write: bool,
+        onchip: bool = False,
+        blocks: int = 1,
+    ) -> None:
+        c = self._counters()
+        if onchip:
+            c.onchip_accesses += blocks
+            return
+        if write:
+            c.meta_writes += blocks
+        else:
+            c.meta_reads += blocks
+
+    def end_op(self) -> None:
+        if self._current is None:
+            raise RuntimeError("end_op without begin_op")
+        self._current = None
+
+    # ------------------------------------------------------------- queries
+
+    def total(self, attr: str) -> int:
+        return sum(getattr(c, attr) for c in self.by_kind.values())
+
+    @property
+    def total_offchip(self) -> int:
+        return sum(c.offchip_accesses for c in self.by_kind.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Off-chip traffic assuming 64B per access unit."""
+        return self.total_offchip * 64
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        return {
+            str(kind): {
+                "ops": c.ops,
+                "data_reads": c.data_reads,
+                "data_writes": c.data_writes,
+                "meta_reads": c.meta_reads,
+                "meta_writes": c.meta_writes,
+                "remote": c.remote_accesses,
+                "onchip": c.onchip_accesses,
+            }
+            for kind, c in self.by_kind.items()
+        }
+
+
+class TeeSink(MemorySink):
+    """Fan a controller's access stream out to several sinks."""
+
+    def __init__(self, *sinks: MemorySink) -> None:
+        if not sinks:
+            raise ValueError("TeeSink needs at least one sink")
+        self.sinks = list(sinks)
+
+    def begin_op(self, kind: OpKind) -> None:
+        for s in self.sinks:
+            s.begin_op(kind)
+
+    def data_access(self, bucket, slot, level, write, onchip=False, remote=False):
+        for s in self.sinks:
+            s.data_access(bucket, slot, level, write, onchip=onchip, remote=remote)
+
+    def metadata_access(self, bucket, level, write, onchip=False, blocks=1):
+        for s in self.sinks:
+            s.metadata_access(bucket, level, write, onchip=onchip, blocks=blocks)
+
+    def end_op(self) -> None:
+        for s in self.sinks:
+            s.end_op()

@@ -1,0 +1,150 @@
+"""Configuration doctor: catch unsound ORAM configurations early.
+
+A Ring ORAM configuration can be subtly broken in ways that only
+surface as protocol errors deep into a run (a bucket with no readable
+slot) or as silent performance cliffs (a stash threshold that forces a
+dummy access per request). ``diagnose`` inspects an
+:class:`~repro.oram.config.OramConfig` and returns a list of findings;
+``assert_sound`` raises on any ERROR-severity finding. Wired into the
+CLI as ``python -m repro doctor``.
+
+Checks implemented (each encodes an invariant discussed in DESIGN.md
+or the paper):
+
+- every level sustains at least one read without an extension
+  (section VI-B: "each bucket contains at least one dummy slot");
+- Z' never shrinks below what the protected-block density requires;
+- remote extensions only on DeadQ-tracked levels (and vice versa);
+- stash threshold leaves headroom for a path worth of transit blocks;
+- AB metadata still fits the per-bucket metadata block budget;
+- DeadQ capacity is sane relative to the tracked levels' demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.oram.config import OramConfig
+from repro.oram.metadata import ab_metadata_fields, metadata_bytes
+
+ERROR = "ERROR"
+WARNING = "WARNING"
+INFO = "INFO"
+
+
+@dataclass(frozen=True)
+class Finding:
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+class UnsoundConfigError(ValueError):
+    """Raised by :func:`assert_sound` when ERROR findings exist."""
+
+
+def diagnose(cfg: OramConfig) -> List[Finding]:
+    """Inspect ``cfg`` and return all findings (possibly empty)."""
+    findings: List[Finding] = []
+
+    # --- per-level protocol soundness
+    for lv, g in enumerate(cfg.geometry):
+        if g.sustain_unextended < 1:
+            findings.append(Finding(
+                ERROR, "sustain-zero",
+                f"level {lv}: S + Y = {g.sustain_unextended}; a bucket "
+                f"could be unreadable when no extension is granted",
+            ))
+        if g.remote_extension > 0 and lv not in cfg.deadq_levels:
+            findings.append(Finding(
+                ERROR, "extension-untracked",
+                f"level {lv} requests an S extension but has no DeadQ",
+            ))
+        if g.overlap > 0 and g.overlap == g.z_real:
+            findings.append(Finding(
+                WARNING, "overlap-full",
+                f"level {lv}: Y = Z' = {g.overlap}; every real block can "
+                f"be greened into the stash within one round",
+            ))
+
+    for lv in cfg.deadq_levels:
+        if cfg.geometry[lv].remote_extension == 0:
+            findings.append(Finding(
+                WARNING, "deadq-unused",
+                f"level {lv} is DeadQ-tracked but never rents "
+                f"(remote_extension = 0)",
+            ))
+
+    # --- capacity pressure
+    density = cfg.n_real_blocks / cfg.total_slots
+    if density > cfg.utilization * 1.25:
+        findings.append(Finding(
+            ERROR, "overfull",
+            f"{cfg.n_real_blocks} protected blocks in {cfg.total_slots} "
+            f"slots ({density:.0%}); stash divergence likely",
+        ))
+    z_real_capacity = sum(
+        cfg.buckets_at(lv) * g.z_real for lv, g in enumerate(cfg.geometry)
+    )
+    if cfg.n_real_blocks > 0.8 * z_real_capacity:
+        findings.append(Finding(
+            ERROR, "zreal-overfull",
+            f"protected blocks exceed 80% of Z' capacity "
+            f"({cfg.n_real_blocks}/{z_real_capacity})",
+        ))
+
+    # --- stash sizing
+    transit = cfg.levels * max(g.z_real for g in cfg.geometry)
+    if cfg.background_evict_threshold + transit > cfg.stash_capacity:
+        findings.append(Finding(
+            WARNING, "stash-headroom",
+            f"threshold {cfg.background_evict_threshold} + one path of "
+            f"transit blocks ({transit}) exceeds capacity "
+            f"{cfg.stash_capacity}; overflow possible during evictPath",
+        ))
+
+    # --- metadata budget
+    if cfg.deadq_levels or any(g.remote_extension for g in cfg.geometry):
+        ab_bytes = metadata_bytes(ab_metadata_fields(cfg))
+        if ab_bytes > cfg.block_bytes:
+            findings.append(Finding(
+                WARNING, "metadata-overflow",
+                f"AB metadata is {ab_bytes}B > one {cfg.block_bytes}B "
+                f"block; metadata accesses double",
+            ))
+
+    # --- DeadQ sizing
+    if cfg.deadq_levels:
+        smallest_level = min(cfg.deadq_levels)
+        buckets = cfg.buckets_at(smallest_level)
+        if cfg.deadq_capacity < 2 * max(
+            g.remote_extension for g in cfg.geometry
+        ):
+            findings.append(Finding(
+                WARNING, "deadq-tiny",
+                f"DeadQ capacity {cfg.deadq_capacity} cannot hold two "
+                f"extensions' worth of entries",
+            ))
+        findings.append(Finding(
+            INFO, "deadq-pressure",
+            f"DeadQ holds {cfg.deadq_capacity} entries per level; the "
+            f"smallest tracked level has {buckets} buckets "
+            f"({cfg.deadq_capacity / buckets:.2f} entries/bucket)",
+        ))
+
+    return findings
+
+
+def assert_sound(cfg: OramConfig) -> List[Finding]:
+    """Raise :class:`UnsoundConfigError` on ERROR findings; return all."""
+    findings = diagnose(cfg)
+    errors = [f for f in findings if f.severity == ERROR]
+    if errors:
+        raise UnsoundConfigError(
+            "; ".join(str(f) for f in errors)
+        )
+    return findings

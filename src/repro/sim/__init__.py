@@ -1,0 +1,29 @@
+"""Simulation harness: trace -> ORAM controller -> DRAM timing.
+
+- :mod:`repro.sim.engine` -- the :class:`DramSink` that turns a
+  controller's access narration into DRAM timing, and ``simulate``,
+  which replays one trace against one scheme.
+- :mod:`repro.sim.results` -- result records and aggregation
+  (normalization, geometric means).
+- :mod:`repro.sim.runner` -- scheme x benchmark sweep drivers used by
+  the figure benchmarks.
+"""
+
+from repro.sim.engine import DramSink, SimConfig, simulate
+from repro.sim.results import SimResult, geomean, normalize
+from repro.sim.runner import run_suite, run_schemes
+from repro.sim.persist import load_results, results_to_csv, save_results
+
+__all__ = [
+    "load_results",
+    "save_results",
+    "results_to_csv",
+    "DramSink",
+    "SimConfig",
+    "simulate",
+    "SimResult",
+    "geomean",
+    "normalize",
+    "run_suite",
+    "run_schemes",
+]

@@ -1,0 +1,213 @@
+"""The timing engine gluing ORAM controllers to the DRAM model.
+
+:class:`DramSink` implements the controller-facing
+:class:`~repro.oram.stats.MemorySink` interface. Every off-chip access
+is translated to a physical address via the tree layout and issued to
+the DRAM model; each protocol operation's wall time (max completion of
+its requests minus its start) is attributed to its operation class,
+producing the paper's Fig. 8c breakdown.
+
+Timing approximations (see DESIGN.md section 4): each operation is a
+chain of *phases* -- metadata read, data reads, data writes, metadata
+write-back -- reflecting the protocol's real dependencies (the
+controller cannot pick slots before the metadata arrives, and cannot
+write a bucket before reading it). Requests within a phase are issued
+together at the phase's start; bank and channel contention then
+serializes them exactly as the timing model dictates. A phase starts
+when the previous phase's slowest request completes, successive
+operations serialize on the sink's clock, and CPU compute between LLC
+misses advances the clock by the trace's ``cpu_gap_ns``.
+
+``simulate`` runs one (scheme, trace) pair end to end with optional
+warm-up exclusion and returns a :class:`~repro.sim.results.SimResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.ab_oram import build_oram
+from repro.mem.address_map import AddressMapping
+from repro.mem.dram import DramModel
+from repro.mem.layout import TreeLayout
+from repro.mem.timing import DDR3_1600, DramTiming
+from repro.oram.config import OramConfig
+from repro.oram.stats import CountingSink, MemorySink, OpKind, TeeSink
+from repro.sim.results import SimResult
+from repro.traces.trace import Trace
+
+
+class DramSink(MemorySink):
+    """Forwards a controller's off-chip accesses to the DRAM model."""
+
+    def __init__(self, layout: TreeLayout, dram: DramModel) -> None:
+        self.layout = layout
+        self.dram = dram
+        self.now = 0.0
+        self.time_by_kind: Dict[OpKind, float] = {k: 0.0 for k in OpKind}
+        self.ops_by_kind: Dict[OpKind, int] = {k: 0 for k in OpKind}
+        self.readpath_latencies: List[float] = []
+        self.remote_accesses = 0
+        self._op_kind: Optional[OpKind] = None
+        self._op_start = 0.0
+        self._op_end = 0.0
+        self._phase = 0
+        self._phase_start = 0.0
+
+    # ------------------------------------------------------------- clocking
+
+    def advance(self, ns: float) -> None:
+        """Advance the clock (CPU compute between requests)."""
+        if ns < 0:
+            raise ValueError(f"cannot advance time by {ns}")
+        self.now += ns
+
+    def reset_measurement(self) -> float:
+        """Zero the attribution counters (end of warm-up).
+
+        DRAM bank/bus state and the clock are preserved; returns the
+        measurement start time.
+        """
+        self.time_by_kind = {k: 0.0 for k in OpKind}
+        self.ops_by_kind = {k: 0 for k in OpKind}
+        self.readpath_latencies = []
+        self.remote_accesses = 0
+        self.dram.stats.__init__()
+        self.dram.channel_busy_ns[:] = 0.0
+        return self.now
+
+    # ------------------------------------------------------------ sink API
+
+    def begin_op(self, kind: OpKind) -> None:
+        if self._op_kind is not None:
+            raise RuntimeError(f"nested op {kind} inside {self._op_kind}")
+        self._op_kind = kind
+        self._op_start = self.now
+        self._op_end = self.now
+        self._phase = 0
+        self._phase_start = self.now
+
+    def _arrival(self, phase: int) -> float:
+        """Phase-ordered arrival time within the current operation.
+
+        Phases: 0 = metadata read, 1 = data reads, 2 = data writes,
+        3 = metadata write-back. Entering a later phase waits for every
+        earlier request of the operation to complete.
+        """
+        if phase > self._phase:
+            self._phase = phase
+            self._phase_start = self._op_end
+        return self._phase_start
+
+    def data_access(self, bucket, slot, level, write, onchip=False, remote=False):
+        if onchip:
+            return
+        if remote:
+            self.remote_accesses += 1
+        addr = self.layout.data_addr(bucket, slot)
+        arrival = self._arrival(2 if write else 1)
+        done = self.dram.access(addr, write, arrival)
+        if done > self._op_end:
+            self._op_end = done
+
+    def metadata_access(self, bucket, level, write, onchip=False, blocks=1):
+        if onchip:
+            return
+        arrival = self._arrival(3 if write else 0)
+        for i in range(blocks):
+            addr = self.layout.meta_addr(bucket, i)
+            done = self.dram.access(addr, write, arrival)
+            if done > self._op_end:
+                self._op_end = done
+
+    def end_op(self) -> None:
+        if self._op_kind is None:
+            raise RuntimeError("end_op without begin_op")
+        duration = self._op_end - self._op_start
+        self.time_by_kind[self._op_kind] += duration
+        self.ops_by_kind[self._op_kind] += 1
+        if self._op_kind is OpKind.READ_PATH:
+            # Online latency is the user-facing metric: each entry is
+            # one request's memory critical path.
+            self.readpath_latencies.append(duration)
+        self.now = self._op_end
+        self._op_kind = None
+
+
+@dataclass
+class SimConfig:
+    """Knobs of one simulation run."""
+
+    timing: DramTiming = DDR3_1600
+    mapping: AddressMapping = field(default_factory=AddressMapping)
+    warmup_requests: int = 0
+    warm_fill: bool = True
+    seed: int = 0
+    observers: Sequence[Any] = ()
+    check_invariants: bool = False
+
+
+def simulate(cfg: OramConfig, trace: Trace, sim: Optional[SimConfig] = None) -> SimResult:
+    """Replay ``trace`` against scheme ``cfg`` and measure everything."""
+    sim = sim or SimConfig()
+    counting = CountingSink(cfg.levels)
+    # The layout must account for the scheme's metadata record width.
+    from repro.core.ab_oram import needs_extensions
+    from repro.oram import metadata as md
+    fields = (
+        md.ab_metadata_fields(cfg) if needs_extensions(cfg)
+        else md.ring_metadata_fields(cfg)
+    )
+    layout = TreeLayout(cfg, metadata_blocks=md.metadata_blocks(cfg, fields))
+    dram = DramModel(sim.timing, sim.mapping)
+    dram_sink = DramSink(layout, dram)
+    sink = TeeSink(counting, dram_sink)
+    oram = build_oram(
+        cfg, sink=sink, seed=sim.seed, observers=sim.observers
+    )
+    if sim.warm_fill:
+        oram.warm_fill()
+    measure_start = 0.0
+    counted_from = 0
+    for i, req in enumerate(trace):
+        if i == sim.warmup_requests and i > 0:
+            measure_start = dram_sink.reset_measurement()
+            counting.reset()
+            counted_from = i
+        dram_sink.advance(trace.cpu_gap_ns)
+        oram.access(req.block, write=req.write)
+    if sim.check_invariants:
+        oram.check_invariants()
+    measured_requests = len(trace) - counted_from
+    exec_ns = dram_sink.now - measure_start
+    import numpy as _np
+    lats = dram_sink.readpath_latencies
+    readpath_p50 = float(_np.percentile(lats, 50)) if lats else 0.0
+    readpath_p99 = float(_np.percentile(lats, 99)) if lats else 0.0
+    return SimResult(
+        scheme=cfg.name,
+        trace=trace.name,
+        requests=measured_requests,
+        exec_ns=exec_ns,
+        time_by_kind={str(k): v for k, v in dram_sink.time_by_kind.items()},
+        ops_by_kind={str(k): v for k, v in dram_sink.ops_by_kind.items()},
+        dram_reads=dram.stats.reads,
+        dram_writes=dram.stats.writes,
+        row_hit_rate=dram.stats.row_hit_rate,
+        bytes_transferred=dram.stats.bytes_transferred,
+        remote_accesses=dram_sink.remote_accesses,
+        tree_bytes=cfg.tree_bytes,
+        space_utilization=cfg.space_utilization,
+        online_accesses=oram.online_accesses,
+        background_accesses=oram.background_accesses,
+        evictions=oram.evict_counter,
+        stash_peak=oram.stash.peak_occupancy,
+        reshuffles_by_level=[int(x) for x in oram.store.reshuffles_by_level],
+        extension_ratio=(
+            oram.ext.extension_ratio if oram.ext is not None else None
+        ),
+        dead_blocks=oram.store.total_dead_slots(),
+        readpath_p50_ns=readpath_p50,
+        readpath_p99_ns=readpath_p99,
+    )

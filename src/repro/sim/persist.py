@@ -1,0 +1,101 @@
+"""Result persistence: JSON records and CSV sweep exports.
+
+Long sweeps are expensive; these helpers let benchmark drivers and
+notebooks save :class:`~repro.sim.results.SimResult` matrices to disk
+and reload them without rerunning the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+from repro.sim.results import SimResult
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: SimResult) -> Dict[str, object]:
+    d = result.to_dict()
+    d["_format"] = _FORMAT_VERSION
+    return d
+
+
+def result_from_dict(data: Mapping[str, object]) -> SimResult:
+    d = dict(data)
+    d.pop("_format", None)
+    d.pop("bandwidth_gbps", None)   # derived properties
+    d.pop("ns_per_access", None)
+    return SimResult(**d)
+
+
+def save_results(
+    results: Mapping[str, Mapping[str, SimResult]], path: PathLike
+) -> None:
+    """Save a scheme -> benchmark -> result matrix as JSON."""
+    payload = {
+        "_format": _FORMAT_VERSION,
+        "schemes": {
+            scheme: {
+                bench: result_to_dict(r) for bench, r in by_bench.items()
+            }
+            for scheme, by_bench in results.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def load_results(path: PathLike) -> Dict[str, Dict[str, SimResult]]:
+    """Inverse of :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("_format") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported result format {payload.get('_format')!r}"
+        )
+    return {
+        scheme: {
+            bench: result_from_dict(d) for bench, d in by_bench.items()
+        }
+        for scheme, by_bench in payload["schemes"].items()
+    }
+
+
+def results_to_csv(
+    results: Mapping[str, Mapping[str, SimResult]], path: PathLike
+) -> int:
+    """Flatten a result matrix to CSV (one row per scheme x benchmark).
+
+    Returns the number of data rows written.
+    """
+    rows: List[Dict[str, object]] = []
+    for scheme, by_bench in results.items():
+        for bench, r in by_bench.items():
+            rows.append({
+                "scheme": scheme,
+                "benchmark": bench,
+                "requests": r.requests,
+                "exec_ns": r.exec_ns,
+                "ns_per_access": r.ns_per_access,
+                "bandwidth_gbps": r.bandwidth_gbps,
+                "row_hit_rate": r.row_hit_rate,
+                "bytes": r.bytes_transferred,
+                "remote_accesses": r.remote_accesses,
+                "tree_bytes": r.tree_bytes,
+                "space_utilization": r.space_utilization,
+                "stash_peak": r.stash_peak,
+                "extension_ratio": (
+                    "" if r.extension_ratio is None else r.extension_ratio
+                ),
+                "dead_blocks": r.dead_blocks,
+            })
+    if not rows:
+        raise ValueError("no results to write")
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)

@@ -1,0 +1,91 @@
+"""Trace composition: multi-phase and interleaved workloads.
+
+Real programs run in phases (pointer-chasing here, streaming there);
+multiprogrammed servers interleave several request streams into the
+memory system. These helpers build such workloads out of existing
+traces so the simulator can study ORAM behaviour under phase changes
+and contention:
+
+- :func:`concat` -- phases back to back (MPKI becomes the
+  request-weighted blend);
+- :func:`interleave` -- round-robin merge weighted by each stream's
+  request rate (MPKI), the standard way multiprogrammed traces are
+  assembled for trace-driven memory simulators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.traces.trace import Trace, TraceRequest
+
+
+def _blend_mpki(traces: Sequence[Trace], weights: Sequence[float]):
+    total = sum(weights)
+    read = sum(t.read_mpki * w for t, w in zip(traces, weights)) / total
+    write = sum(t.write_mpki * w for t, w in zip(traces, weights)) / total
+    return read, write
+
+
+def concat(traces: Sequence[Trace], name: str = "") -> Trace:
+    """Run the given traces as consecutive phases of one workload."""
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace")
+    requests: List[TraceRequest] = []
+    for t in traces:
+        requests.extend(t.requests)
+    weights = [len(t) for t in traces]
+    read, write = _blend_mpki(traces, weights)
+    return Trace(
+        name=name or "+".join(t.name for t in traces),
+        requests=requests,
+        read_mpki=read,
+        write_mpki=write,
+        suite="mix",
+    )
+
+
+def interleave(traces: Sequence[Trace], name: str = "") -> Trace:
+    """Merge traces as co-running streams.
+
+    Streams are merged in proportion to their request rates: a stream
+    with twice the MPKI injects twice as often, which is how
+    multiprogrammed memory traces interleave in time. The merge stops
+    when the first stream runs dry (equal pressure on every stream),
+    and the result's MPKI is the *sum* of the streams' (the memory
+    system sees all of them).
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace")
+    if len(traces) == 1:
+        return traces[0]
+    rates = [t.total_mpki for t in traces]
+    # Credit-based weighted round-robin.
+    credits = [0.0] * len(traces)
+    cursors = [0] * len(traces)
+    requests: List[TraceRequest] = []
+    while True:
+        for i, t in enumerate(traces):
+            credits[i] += rates[i]
+        progressed = False
+        for i, t in enumerate(traces):
+            while credits[i] >= max(rates) and cursors[i] < len(t.requests):
+                requests.append(t.requests[cursors[i]])
+                cursors[i] += 1
+                credits[i] -= max(rates)
+                progressed = True
+        if any(cursors[i] >= len(t.requests) for i, t in enumerate(traces)):
+            break
+        if not progressed:
+            break
+    read = sum(t.read_mpki for t in traces)
+    write = sum(t.write_mpki for t in traces)
+    return Trace(
+        name=name or "||".join(t.name for t in traces),
+        requests=requests,
+        read_mpki=read,
+        write_mpki=write,
+        suite="mix",
+    )

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import schemes
+from repro.oram.config import BucketGeometry, OramConfig, uniform_geometry
+
+
+def tiny_config(
+    levels: int = 6,
+    z_real: int = 3,
+    s_reserved: int = 2,
+    overlap: int = 2,
+    **kw,
+) -> OramConfig:
+    """A small CB-style config for fast protocol tests."""
+    opts = dict(
+        levels=levels,
+        geometry=uniform_geometry(levels, z_real, s_reserved, overlap=overlap),
+        evict_rate=3,
+        stash_capacity=500,
+        name="tiny",
+    )
+    opts.update(kw)
+    return OramConfig(**opts)
+
+
+def tiny_ab_config(levels: int = 6, **kw) -> OramConfig:
+    """A small config exercising DeadQ + remote extension at the bottom."""
+    bottom = tuple(range(levels - 2, levels))
+    geometry = list(uniform_geometry(levels, 3, 2, overlap=2))
+    for lv in bottom:
+        geometry[lv] = BucketGeometry(3, 1, overlap=2, remote_extension=1)
+    opts = dict(
+        levels=levels,
+        geometry=tuple(geometry),
+        evict_rate=3,
+        stash_capacity=500,
+        deadq_levels=bottom,
+        deadq_capacity=64,
+        name="tiny-ab",
+    )
+    opts.update(kw)
+    return OramConfig(**opts)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def cfg_small():
+    return tiny_config()
+
+
+@pytest.fixture
+def cfg_ab_small():
+    return tiny_ab_config()
+
+
+@pytest.fixture
+def paper_schemes():
+    """The five main schemes at the paper's 24-level geometry."""
+    return schemes.main_schemes(24)

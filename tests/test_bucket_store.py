@@ -1,0 +1,214 @@
+"""Unit tests for the bucket store (repro.oram.bucket)."""
+
+import numpy as np
+import pytest
+
+from repro.oram.bucket import CONSUMED, DUMMY, UNALLOCATED, BucketStore, SlotStatus
+from repro.oram.config import BucketGeometry, OramConfig, override_levels, uniform_geometry
+
+
+@pytest.fixture
+def store(cfg_small):
+    return BucketStore(cfg_small)
+
+
+@pytest.fixture
+def nonuniform_store():
+    geom = override_levels(
+        uniform_geometry(4, 3, 2, overlap=2), {3: BucketGeometry(3, 0, overlap=2)}
+    )
+    cfg = OramConfig(levels=4, geometry=geom, name="nu")
+    return BucketStore(cfg)
+
+
+class TestGeometry:
+    def test_levels_assigned(self, store):
+        assert store.level(0) == 0
+        assert store.level(1) == 1
+        assert store.level(2) == 1
+        assert store.level(store.cfg.n_buckets - 1) == store.cfg.levels - 1
+
+    def test_z_phys_uniform(self, store):
+        assert store.z_phys(0) == 5
+
+    def test_z_phys_nonuniform(self, nonuniform_store):
+        assert nonuniform_store.z_phys(0) == 5
+        assert nonuniform_store.z_phys(7) == 3  # leaf level Z'=3, S=0
+
+    def test_padding_columns_unallocated(self, nonuniform_store):
+        leaf_bucket = 7
+        assert all(
+            nonuniform_store.slots[leaf_bucket, 3:] == UNALLOCATED
+        )
+
+    def test_initial_contents_all_dummies(self, store):
+        for b in (0, 3, 17):
+            assert (store.row(b) == DUMMY).all()
+
+    def test_initial_sustain_unextended(self, store):
+        # tiny config: S=2, Y=2 -> sustain 4.
+        assert (store.sustain == 4).all()
+
+
+class TestConsume:
+    def test_consume_returns_content(self, store):
+        assert store.consume(0, 0) == DUMMY
+        assert store.slots[0, 0] == CONSUMED
+
+    def test_consume_increments_count(self, store):
+        store.consume(0, 0)
+        store.consume(0, 1)
+        assert store.count[0] == 2
+
+    def test_consume_sets_dead_status(self, store):
+        store.consume(0, 0)
+        assert store.get_status(0, 0) == SlotStatus.DEAD
+
+    def test_double_consume_raises(self, store):
+        store.consume(0, 0)
+        with pytest.raises(RuntimeError):
+            store.consume(0, 0)
+
+    def test_consume_out_of_range_slot(self, store):
+        with pytest.raises(ValueError):
+            store.consume(0, 5)
+
+    def test_consume_real_block(self, store):
+        store.slots[2, 1] = 42
+        assert store.consume(2, 1) == 42
+
+
+class TestQueries:
+    def test_find_block(self, store):
+        store.slots[3, 2] = 9
+        assert store.find_block(3, 9) == 2
+        assert store.find_block(3, 8) == -1
+
+    def test_valid_dummy_slots_excludes_consumed(self, store):
+        store.consume(0, 0)
+        assert 0 not in store.valid_dummy_slots(0)
+
+    def test_valid_dummy_slots_excludes_allocated(self, store):
+        store.set_status(0, 1, SlotStatus.QUEUED)
+        store.set_status(0, 2, SlotStatus.IN_USE)
+        dummies = store.valid_dummy_slots(0)
+        assert 1 not in dummies
+        assert 2 not in dummies
+
+    def test_valid_real_slots(self, store):
+        store.slots[4, 0] = 10
+        store.slots[4, 3] = 11
+        assert list(store.valid_real_slots(4)) == [0, 3]
+
+    def test_real_count(self, store):
+        store.slots[4, 0] = 10
+        store.slots[4, 3] = 11
+        assert store.real_count(4) == 2
+
+    def test_dead_slots(self, store):
+        store.consume(1, 0)
+        store.consume(1, 2)
+        assert list(store.dead_slots(1)) == [0, 2]
+
+    def test_usable_slots_excludes_in_use_only(self, store):
+        store.set_status(5, 0, SlotStatus.IN_USE)
+        store.set_status(5, 1, SlotStatus.QUEUED)
+        usable = list(store.usable_slots(5))
+        assert 0 not in usable
+        assert 1 in usable
+
+
+class TestRefresh:
+    def test_refresh_resets_count_and_contents(self, store):
+        store.consume(0, 0)
+        store.consume(0, 1)
+        written = store.refresh(0, [7, 8])
+        assert store.count[0] == 0
+        assert set(written) == set(range(5))
+        row = store.row(0)
+        assert sorted(x for x in row if x >= 0) == [7, 8]
+        assert (row != CONSUMED).all()
+
+    def test_refresh_restores_status(self, store):
+        store.consume(0, 0)
+        store.refresh(0, [])
+        assert store.get_status(0, 0) == SlotStatus.REFRESHED
+
+    def test_refresh_bumps_generation_of_queued(self, store):
+        store.consume(0, 0)
+        gen = store.slot_generation(0, 0)
+        store.set_status(0, 0, SlotStatus.QUEUED)
+        store.refresh(0, [])
+        assert store.slot_generation(0, 0) == gen + 1
+
+    def test_refresh_skips_in_use(self, store):
+        store.slots[0, 0] = CONSUMED
+        store.set_status(0, 0, SlotStatus.IN_USE)
+        written = store.refresh(0, [])
+        assert 0 not in written
+        assert store.slots[0, 0] == CONSUMED
+        assert store.get_status(0, 0) == SlotStatus.IN_USE
+
+    def test_refresh_sustain_with_extension(self, store):
+        store.refresh(0, [], granted_extension=2)
+        assert store.sustain[0] == 4 + 2
+
+    def test_refresh_sustain_capped_by_rented_slots(self, store):
+        # Rent out 2 of 5 slots: usable = 3 < sustain_unextended 4.
+        store.set_status(0, 0, SlotStatus.IN_USE)
+        store.set_status(0, 1, SlotStatus.IN_USE)
+        store.refresh(0, [])
+        assert store.sustain[0] == 3
+
+    def test_refresh_too_many_reals_raises(self, store):
+        with pytest.raises(RuntimeError):
+            store.refresh(0, list(range(6)))
+
+    def test_refresh_counts_reshuffles_per_level(self, store):
+        store.refresh(3, [])
+        store.refresh(4, [])
+        store.refresh(0, [])
+        assert store.reshuffles_by_level[2] == 2
+        assert store.reshuffles_by_level[0] == 1
+
+    def test_needs_reshuffle(self, store):
+        assert not store.needs_reshuffle(0)
+        for s in range(4):
+            store.consume(0, s)
+        assert store.needs_reshuffle(0)
+
+
+class TestGlobalScans:
+    def test_total_dead_slots(self, store):
+        store.consume(0, 0)
+        store.consume(3, 1)
+        assert store.total_dead_slots() == 2
+
+    def test_queued_counts_as_dead(self, store):
+        store.consume(0, 0)
+        store.set_status(0, 0, SlotStatus.QUEUED)
+        assert store.total_dead_slots() == 1
+
+    def test_in_use_not_dead(self, store):
+        store.consume(0, 0)
+        store.set_status(0, 0, SlotStatus.IN_USE)
+        assert store.total_dead_slots() == 0
+
+    def test_dead_slots_by_level(self, store):
+        store.consume(0, 0)       # level 0
+        store.consume(1, 0)       # level 1
+        store.consume(2, 0)       # level 1
+        per = store.dead_slots_by_level()
+        assert per[0] == 1
+        assert per[1] == 2
+        assert per.sum() == 3
+
+    def test_real_blocks_resident(self, store):
+        store.slots[0, 0] = 5
+        store.slots[8, 2] = 6
+        assert sorted(store.real_blocks_resident()) == [5, 6]
+
+    def test_write_dummy(self, store):
+        store.slots[0, 0] = CONSUMED
+        store.write_dummy(0, 0)
+        assert store.slots[0, 0] == DUMMY

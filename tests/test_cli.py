@@ -1,0 +1,109 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["space", "--schemes", "nope"])
+
+
+class TestSpace:
+    def test_prints_paper_ratios(self, capsys):
+        assert main(["space", "--levels", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "0.754" in out   # DR
+        assert "0.645" in out   # AB
+        assert "0.485" in out   # AB utilization
+
+    def test_small_levels(self, capsys):
+        assert main(["space", "--levels", "8",
+                     "--schemes", "baseline", "ab"]) == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "AB" in out
+
+
+class TestSchemes:
+    def test_describes_geometry(self, capsys):
+        assert main(["schemes", "--levels", "12", "--schemes", "ab"]) == 0
+        out = capsys.readouterr().out
+        assert "AB" in out
+        assert "sustain" in out
+
+
+class TestSimulate:
+    def test_runs_and_reports(self, capsys):
+        rc = main(["simulate", "--scheme", "ab", "--bench", "gcc",
+                   "--levels", "9", "--requests", "200",
+                   "--warmup", "50", "--check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Simulation result" in out
+        assert "Memory-time breakdown" in out
+        assert "readPath" in out
+
+    def test_parsec_suite(self, capsys):
+        rc = main(["simulate", "--suite", "parsec", "--bench", "canneal",
+                   "--scheme", "dr", "--levels", "9",
+                   "--requests", "150", "--warmup", "50"])
+        assert rc == 0
+        assert "canneal" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_matrix_shape(self, capsys):
+        rc = main(["sweep", "--schemes", "baseline", "ab",
+                   "--benchmarks", "gcc", "mcf",
+                   "--levels", "9", "--requests", "200", "--warmup", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "mcf" in out
+        assert "normalized to Baseline" in out
+
+
+class TestSecurity:
+    def test_rates_near_1_over_l(self, capsys):
+        rc = main(["security", "--levels", "8", "--accesses", "1500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Guessing attacker" in out
+        assert "0.125" in out  # expected_1_over_L column
+
+
+class TestDoctor:
+    def test_paper_schemes_clean(self, capsys):
+        rc = main(["doctor", "--levels", "24", "--schemes", "ab", "dr"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "AB (L=24):" in out
+
+    def test_reports_findings(self, capsys):
+        main(["doctor", "--levels", "24", "--schemes", "baseline"])
+        out = capsys.readouterr().out
+        assert "stash-headroom" in out or "no findings" in out
+
+
+class TestFigures:
+    def test_all_figures_render(self, capsys):
+        rc = main(["figures", "--levels", "24"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig 8a" in out and "Table I" in out and "0.645" in out
+
+    def test_single_figure(self, capsys):
+        rc = main(["figures", "--which", "fig13", "--levels", "24"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L2-S2" in out
+        assert "Fig 8a" not in out

@@ -1,0 +1,189 @@
+"""Unit tests for ORAM configuration (repro.oram.config)."""
+
+import pytest
+
+from repro.oram.config import (
+    BucketGeometry,
+    OramConfig,
+    bottom_range,
+    override_levels,
+    scaled_treetop,
+    uniform_geometry,
+)
+
+
+class TestBucketGeometry:
+    def test_z_total(self):
+        g = BucketGeometry(z_real=5, s_reserved=3)
+        assert g.z_total == 8
+
+    def test_sustain_with_overlap(self):
+        g = BucketGeometry(5, 3, overlap=4)
+        assert g.sustain_unextended == 7
+        assert g.sustain == 7
+
+    def test_sustain_with_extension(self):
+        g = BucketGeometry(5, 1, overlap=4, remote_extension=2)
+        assert g.sustain == 7
+        assert g.sustain_unextended == 5
+
+    def test_classic_ring_sustain(self):
+        g = BucketGeometry(5, 7)
+        assert g.sustain == 7
+        assert g.z_total == 12
+
+    def test_shrunk(self):
+        g = BucketGeometry(5, 3, overlap=4)
+        assert g.shrunk(2).s_reserved == 1
+        assert g.shrunk(2).z_total == 6
+
+    def test_shrunk_floors_at_zero(self):
+        g = BucketGeometry(5, 3)
+        assert g.shrunk(10).s_reserved == 0
+
+    def test_rejects_zero_z_real(self):
+        with pytest.raises(ValueError):
+            BucketGeometry(0, 3)
+
+    def test_rejects_negative_s(self):
+        with pytest.raises(ValueError):
+            BucketGeometry(5, -1)
+
+    def test_rejects_overlap_above_z_real(self):
+        with pytest.raises(ValueError):
+            BucketGeometry(3, 2, overlap=4)
+
+    def test_frozen(self):
+        g = BucketGeometry(5, 3)
+        with pytest.raises(Exception):
+            g.z_real = 4
+
+
+class TestOramConfigSizes:
+    def test_bucket_count(self):
+        cfg = OramConfig(levels=5, geometry=uniform_geometry(5, 5, 3))
+        assert cfg.n_buckets == 31
+        assert cfg.n_leaves == 16
+
+    def test_buckets_at(self):
+        cfg = OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3))
+        assert [cfg.buckets_at(l) for l in range(4)] == [1, 2, 4, 8]
+
+    def test_total_slots_uniform(self):
+        cfg = OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3))
+        assert cfg.total_slots == 15 * 8
+
+    def test_total_slots_non_uniform(self):
+        geom = override_levels(
+            uniform_geometry(4, 5, 3), {3: BucketGeometry(5, 1)}
+        )
+        cfg = OramConfig(levels=4, geometry=geom)
+        assert cfg.total_slots == 7 * 8 + 8 * 6
+
+    def test_tree_bytes(self):
+        cfg = OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3))
+        assert cfg.tree_bytes == 15 * 8 * 64
+
+    def test_paper_tree_size(self):
+        """(2^24 - 1) x 8 x 64B = 8GB (paper section VII)."""
+        cfg = OramConfig(levels=24, geometry=uniform_geometry(24, 5, 3, overlap=4))
+        assert cfg.tree_bytes == ((1 << 24) - 1) * 8 * 64
+
+    def test_default_block_count_rule(self):
+        """Half the Z' capacity of all buckets (the 2.5GB rule)."""
+        cfg = OramConfig(levels=24, geometry=uniform_geometry(24, 5, 3, overlap=4))
+        assert cfg.n_real_blocks == ((1 << 24) - 1) * 5 // 2
+
+    def test_paper_utilization(self):
+        cfg = OramConfig(levels=24, geometry=uniform_geometry(24, 5, 3, overlap=4))
+        assert cfg.space_utilization == pytest.approx(0.3125, abs=1e-4)
+
+    def test_level_capacity_fractions_sum_to_one(self):
+        cfg = OramConfig(levels=6, geometry=uniform_geometry(6, 5, 3))
+        total = sum(cfg.level_capacity_fraction(l) for l in range(6))
+        assert total == pytest.approx(1.0)
+
+    def test_bottom_levels_dominate(self):
+        """The last 3 of 24 levels hold 87.5% of capacity (paper IV-B)."""
+        cfg = OramConfig(levels=24, geometry=uniform_geometry(24, 5, 3))
+        frac = sum(cfg.level_capacity_fraction(l) for l in (21, 22, 23))
+        assert frac == pytest.approx(0.875, abs=0.001)
+
+
+class TestOramConfigValidation:
+    def test_geometry_length_mismatch(self):
+        with pytest.raises(ValueError):
+            OramConfig(levels=5, geometry=uniform_geometry(4, 5, 3))
+
+    def test_too_few_levels(self):
+        with pytest.raises(ValueError):
+            OramConfig(levels=1, geometry=uniform_geometry(1, 5, 3))
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3),
+                       utilization=0.0)
+
+    def test_bad_treetop(self):
+        with pytest.raises(ValueError):
+            OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3),
+                       treetop_levels=4)
+
+    def test_bad_deadq_levels(self):
+        with pytest.raises(ValueError):
+            OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3),
+                       deadq_levels=(5,))
+
+    def test_bad_evict_rate(self):
+        with pytest.raises(ValueError):
+            OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3),
+                       evict_rate=0)
+
+    def test_background_threshold_defaults_below_capacity(self):
+        cfg = OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3),
+                         stash_capacity=300)
+        assert 0 < cfg.background_evict_threshold < 300
+
+    def test_explicit_n_real_blocks(self):
+        cfg = OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3),
+                         n_real_blocks=10)
+        assert cfg.n_real_blocks == 10
+
+
+class TestHelpers:
+    def test_override_levels(self):
+        geom = override_levels(
+            uniform_geometry(4, 5, 3), {2: BucketGeometry(5, 1)}
+        )
+        assert geom[2].s_reserved == 1
+        assert geom[0].s_reserved == 3
+
+    def test_override_out_of_range(self):
+        with pytest.raises(ValueError):
+            override_levels(uniform_geometry(4, 5, 3), {4: BucketGeometry(5, 1)})
+
+    def test_scaled_treetop_paper_identity(self):
+        assert scaled_treetop(24) == 10
+
+    def test_scaled_treetop_half(self):
+        assert scaled_treetop(12) == 5
+
+    def test_scaled_treetop_bounds(self):
+        for levels in range(2, 30):
+            t = scaled_treetop(levels)
+            assert 1 <= t < levels
+
+    def test_bottom_range(self):
+        assert bottom_range(24, 6) == (18, 19, 20, 21, 22, 23)
+        assert bottom_range(24, 2) == (22, 23)
+
+    def test_bottom_range_clamps(self):
+        assert bottom_range(4, 10) == (0, 1, 2, 3)
+        assert bottom_range(4, 0) == ()
+
+    def test_describe_mentions_spans(self):
+        cfg = OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3),
+                         name="x")
+        text = cfg.describe()
+        assert "x" in text
+        assert "L0-L3" in text

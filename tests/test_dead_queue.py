@@ -1,0 +1,116 @@
+"""Unit tests for DeadQ FIFOs (repro.core.dead_queue)."""
+
+import pytest
+
+from conftest import tiny_ab_config
+
+from repro.core.dead_queue import DeadQueue, DeadQueueSet
+from repro.oram.bucket import BucketStore, SlotStatus
+
+
+@pytest.fixture
+def store(cfg_ab_small):
+    return BucketStore(cfg_ab_small)
+
+
+def kill_slot(store, bucket, slot, queued=True):
+    """Make (bucket, slot) a DEAD (optionally QUEUED) slot."""
+    store.consume(bucket, slot)
+    if queued:
+        store.set_status(bucket, slot, SlotStatus.QUEUED)
+    return store.slot_generation(bucket, slot)
+
+
+class TestDeadQueue:
+    def test_fifo_order(self, store):
+        q = DeadQueue(10)
+        g1 = kill_slot(store, 31, 0)
+        g2 = kill_slot(store, 32, 0)
+        q.push(31, 0, g1)
+        q.push(32, 0, g2)
+        assert q.pop_valid(store) == (31, 0)
+        assert q.pop_valid(store) == (32, 0)
+
+    def test_capacity_enforced(self, store):
+        q = DeadQueue(2)
+        assert q.push(31, 0, 0)
+        assert q.push(31, 1, 0)
+        assert not q.push(31, 2, 0)
+        assert q.dropped_full == 1
+        assert q.is_full
+
+    def test_pop_empty_returns_none(self, store):
+        q = DeadQueue(4)
+        assert q.pop_valid(store) is None
+
+    def test_stale_generation_discarded(self, store):
+        q = DeadQueue(4)
+        gen = kill_slot(store, 31, 0)
+        q.push(31, 0, gen)
+        store.generation[31, 0] += 1  # host reshuffled the slot away
+        assert q.pop_valid(store) is None
+        assert q.stale_discarded == 1
+
+    def test_non_queued_status_discarded(self, store):
+        q = DeadQueue(4)
+        gen = kill_slot(store, 31, 0)
+        q.push(31, 0, gen)
+        store.set_status(31, 0, SlotStatus.REFRESHED)
+        assert q.pop_valid(store) is None
+
+    def test_pop_skips_stale_then_returns_valid(self, store):
+        q = DeadQueue(4)
+        g1 = kill_slot(store, 31, 0)
+        g2 = kill_slot(store, 32, 0)
+        q.push(31, 0, g1)
+        q.push(32, 0, g2)
+        store.generation[31, 0] += 1
+        assert q.pop_valid(store) == (32, 0)
+
+    def test_requeue_front(self, store):
+        q = DeadQueue(4)
+        g1 = kill_slot(store, 31, 0)
+        g2 = kill_slot(store, 32, 0)
+        q.push(31, 0, g1)
+        q.push(32, 0, g2)
+        hb, hs = q.pop_valid(store)
+        q.requeue_front(hb, hs, store.slot_generation(hb, hs))
+        assert q.pop_valid(store) == (31, 0)
+
+    def test_counters(self, store):
+        q = DeadQueue(4)
+        gen = kill_slot(store, 31, 0)
+        q.push(31, 0, gen)
+        q.pop_valid(store)
+        assert q.pushed == 1
+        assert q.popped == 1
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DeadQueue(0)
+
+
+class TestDeadQueueSet:
+    def test_one_queue_per_level(self):
+        qs = DeadQueueSet([4, 5], capacity=8)
+        assert 4 in qs
+        assert 5 in qs
+        assert 3 not in qs
+        assert qs.get(3) is None
+
+    def test_tracked_levels_sorted(self):
+        qs = DeadQueueSet([5, 4], capacity=8)
+        assert qs.tracked_levels() == (4, 5)
+
+    def test_total_entries(self, store):
+        qs = DeadQueueSet([4, 5], capacity=8)
+        qs.get(4).push(15, 0, 0)
+        qs.get(5).push(31, 0, 0)
+        qs.get(5).push(32, 0, 0)
+        assert qs.total_entries() == 3
+
+    def test_stats_shape(self):
+        qs = DeadQueueSet([4], capacity=8)
+        s = qs.stats()
+        assert set(s[4]) == {"size", "pushed", "popped", "dropped_full",
+                             "stale_discarded"}

@@ -1,0 +1,74 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least import cleanly and parse ``--help`` (this
+catches API drift the moment it happens); the two cheapest ones run end
+to end at reduced scale.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestHelp:
+    def test_all_examples_present(self):
+        assert set(EXAMPLES) >= {
+            "quickstart.py",
+            "space_explorer.py",
+            "secure_trace_replay.py",
+            "attacker_analysis.py",
+            "oblivious_kv.py",
+            "corunner_capacity.py",
+            "design_space.py",
+            "artifact_workflow.py",
+        }
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_help_works(self, name):
+        proc = run_example(name, "--help", timeout=60)
+        assert proc.returncode == 0, proc.stderr
+        assert "usage" in proc.stdout.lower()
+
+
+class TestEndToEnd:
+    def test_space_explorer_runs(self):
+        proc = run_example("space_explorer.py", "--levels", "16")
+        assert proc.returncode == 0, proc.stderr
+        assert "saved" in proc.stdout
+
+    def test_quickstart_runs_small(self):
+        proc = run_example("quickstart.py", "--levels", "8",
+                           "--accesses", "120")
+        assert proc.returncode == 0, proc.stderr
+        assert "invariants hold" in proc.stdout
+
+    def test_oblivious_kv_runs_small(self):
+        proc = run_example("oblivious_kv.py", "--levels", "7")
+        assert proc.returncode == 0, proc.stderr
+        assert "Store statistics" in proc.stdout
+
+    def test_corunner_runs(self):
+        proc = run_example("corunner_capacity.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "AB-ORAM frees" in proc.stdout
+
+    def test_artifact_workflow_runs(self, tmp_path):
+        proc = run_example("artifact_workflow.py", "--outdir",
+                           str(tmp_path / "bundle"), "--levels", "8",
+                           "--requests", "200")
+        assert proc.returncode == 0, proc.stderr
+        assert "replay: results identical" in proc.stdout

@@ -1,0 +1,234 @@
+"""Tests for the DRAM substrate (repro.mem)."""
+
+import pytest
+
+from repro.core import schemes
+from repro.mem.address_map import AddressMapping
+from repro.mem.dram import DramModel
+from repro.mem.layout import TreeLayout
+from repro.mem.timing import DDR3_1066, DDR3_1600, IDEAL_BUS, DramTiming
+
+
+class TestTiming:
+    def test_column_latency_read_vs_write(self):
+        assert DDR3_1600.column_ns(False) == 13.75
+        assert DDR3_1600.column_ns(True) == 10.0
+
+    def test_recovery_only_for_writes(self):
+        assert DDR3_1600.recovery_ns(False) == 0.0
+        assert DDR3_1600.recovery_ns(True) == 15.0
+
+    def test_turnaround_same_direction_free(self):
+        assert DDR3_1600.turnaround_ns(False, False) == 0.0
+        assert DDR3_1600.turnaround_ns(True, True) == 0.0
+
+    def test_turnaround_switching(self):
+        assert DDR3_1600.turnaround_ns(True, False) == DDR3_1600.t_wtr
+        assert DDR3_1600.turnaround_ns(False, True) == DDR3_1600.t_rtw
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DramTiming(t_ck=1, t_cas=-1, t_cwd=1, t_rcd=1, t_rp=1, t_wr=1,
+                       burst_ns=1, t_rrd=0, t_wtr=0, t_rtw=0)
+
+    def test_presets_exist(self):
+        for preset in (DDR3_1600, DDR3_1066, IDEAL_BUS):
+            assert preset.burst_ns > 0
+
+
+class TestAddressMapping:
+    def test_channel_interleaving_at_line_granularity(self):
+        m = AddressMapping(n_channels=4)
+        channels = [m.channel_of(64 * i) for i in range(8)]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_line_same_coordinates(self):
+        m = AddressMapping()
+        assert m.decompose(100) == m.decompose(64)
+
+    def test_rows_change_after_row_span(self):
+        m = AddressMapping(n_channels=1, n_banks=1, row_bytes=256)
+        _, _, row0, _ = m.decompose(0)
+        _, _, row1, _ = m.decompose(256)
+        assert row1 == row0 + 1
+
+    def test_consecutive_lines_in_channel_share_row(self):
+        m = AddressMapping(n_channels=2, row_bytes=1024)
+        c0, b0, r0, col0 = m.decompose(0)
+        c1, b1, r1, col1 = m.decompose(128)  # next line on channel 0
+        assert (c0, b0, r0) == (c1, b1, r1)
+        assert col1 == col0 + 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapping().decompose(-64)
+
+    def test_row_bytes_multiple_of_line(self):
+        with pytest.raises(ValueError):
+            AddressMapping(row_bytes=100)
+
+
+class TestDramModel:
+    def test_row_miss_then_hit(self):
+        dram = DramModel()
+        t1 = dram.access(0, False, 0.0)
+        t2 = dram.access(64 * 4, False, t1)  # same channel 0, next column
+        assert dram.stats.row_misses == 1
+        assert dram.stats.row_hits == 1
+        # The hit is served faster than the miss.
+        assert (t2 - t1) < t1
+
+    def test_different_channels_overlap(self):
+        dram = DramModel()
+        t1 = dram.access(0, False, 0.0)
+        t2 = dram.access(64, False, 0.0)  # channel 1
+        assert t2 == pytest.approx(t1)
+
+    def test_same_bank_serializes(self):
+        dram = DramModel()
+        m = dram.mapping
+        # Two lines in the same bank but different rows -> conflict.
+        far = m.n_channels * m.row_bytes * 0  # same row actually
+        a = 0
+        b = m.n_channels * m.row_bytes * m.n_banks  # same bank, next row
+        t1 = dram.access(a, False, 0.0)
+        t2 = dram.access(b, False, 0.0)
+        assert t2 > t1
+
+    def test_completion_monotonic_per_channel(self):
+        dram = DramModel()
+        times = [dram.access(64 * 4 * i, False, 0.0) for i in range(10)]
+        assert times == sorted(times)
+
+    def test_write_read_turnaround_penalty(self):
+        fast = DramModel()
+        fast.access(0, True, 0.0)
+        t_after_write = fast.access(64 * 4, False, 0.0)
+        clean = DramModel()
+        clean.access(0, False, 0.0)
+        t_after_read = clean.access(64 * 4, False, 0.0)
+        assert t_after_write > t_after_read
+
+    def test_activation_throttle(self):
+        """Row misses on one channel cannot activate faster than tRRD."""
+        dram = DramModel()
+        m = dram.mapping
+        stride = m.n_channels * m.row_bytes * m.n_banks  # new row, same-ish
+        # Hit different banks to avoid bank serialization; all misses.
+        addrs = [m.row_bytes * m.n_channels * b for b in range(8)]
+        for a in addrs:
+            dram.access(a, False, 0.0)
+        busy_span = dram.frontier_ns
+        assert busy_span >= DDR3_1600.t_rrd * (len(addrs) - 1)
+
+    def test_stats_bytes(self):
+        dram = DramModel()
+        for i in range(5):
+            dram.access(64 * i, False, 0.0)
+        assert dram.stats.bytes_transferred == 5 * 64
+
+    def test_burst_batch(self):
+        dram = DramModel()
+        done = dram.access_burst([0, 64, 128], [False] * 3, 10.0)
+        assert done > 10.0
+        assert dram.stats.reads == 3
+
+    def test_burst_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DramModel().access_burst([0], [False, True], 0.0)
+
+    def test_bandwidth(self):
+        dram = DramModel()
+        dram.access(0, False, 0.0)
+        assert dram.bandwidth_gbps(64.0) == pytest.approx(1.0)
+        assert dram.bandwidth_gbps(0.0) == 0.0
+
+    def test_refresh_closes_rows(self):
+        dram = DramModel()
+        t = dram.timing
+        dram.access(0, False, 0.0)             # opens a row
+        # Same line long after a refresh window: must be a miss again.
+        dram.access(0, False, t.t_refi * 2 + 1.0)
+        assert dram.stats.row_misses == 2
+        assert dram.stats.refreshes >= 1
+
+    def test_refresh_stalls_banks(self):
+        dram = DramModel()
+        t = dram.timing
+        arrival = t.t_refi + 0.5  # just after the refresh fires
+        done = dram.access(0, False, arrival)
+        assert done >= t.t_refi + t.t_rfc
+
+    def test_no_refresh_when_disabled(self):
+        dram = DramModel(IDEAL_BUS)
+        dram.access(0, False, 0.0)
+        dram.access(0, False, 1e9)
+        assert dram.stats.refreshes == 0
+        assert dram.stats.row_hits == 1
+
+    def test_ideal_bus_is_faster(self):
+        """The ablation profile must strictly lower total latency."""
+        real, ideal = DramModel(DDR3_1600), DramModel(IDEAL_BUS)
+        addrs = [i * 64 for i in range(64)]
+        t_real = max(real.access(a, i % 2 == 0, 0.0) for i, a in enumerate(addrs))
+        t_ideal = max(ideal.access(a, i % 2 == 0, 0.0) for i, a in enumerate(addrs))
+        assert t_ideal <= t_real
+
+
+class TestTreeLayout:
+    @pytest.fixture
+    def cfg(self):
+        return schemes.ab_scheme(8)
+
+    def test_slots_contiguous_within_bucket(self, cfg):
+        lay = TreeLayout(cfg)
+        assert lay.data_addr(0, 1) - lay.data_addr(0, 0) == 64
+
+    def test_buckets_sized_by_level(self, cfg):
+        lay = TreeLayout(cfg)
+        # Root bucket Z=8 -> next bucket starts 8 lines later.
+        assert lay.data_addr(1, 0) - lay.data_addr(0, 0) == 8 * 64
+
+    def test_nonuniform_spans(self, cfg):
+        lay = TreeLayout(cfg)
+        leaf_first = (1 << (cfg.levels - 1)) - 1
+        span = lay.data_addr(leaf_first + 1, 0) - lay.data_addr(leaf_first, 0)
+        assert span == cfg.geometry[-1].z_total * 64
+
+    def test_data_bytes_matches_config(self, cfg):
+        lay = TreeLayout(cfg)
+        assert lay.data_bytes == cfg.tree_bytes
+
+    def test_metadata_after_data(self, cfg):
+        lay = TreeLayout(cfg, metadata_blocks=1)
+        assert lay.meta_addr(0) == lay.data_bytes
+        assert lay.meta_addr(1) - lay.meta_addr(0) == 64
+
+    def test_metadata_blocks_stride(self, cfg):
+        lay = TreeLayout(cfg, metadata_blocks=2)
+        assert lay.meta_addr(1) - lay.meta_addr(0) == 128
+        assert lay.meta_addr(0, block=1) - lay.meta_addr(0) == 64
+
+    def test_total_bytes(self, cfg):
+        lay = TreeLayout(cfg, metadata_blocks=1)
+        assert lay.total_bytes == lay.data_bytes + cfg.n_buckets * 64
+
+    def test_base_addr_offset(self, cfg):
+        lay = TreeLayout(cfg, base_addr=1 << 20)
+        assert lay.data_addr(0, 0) == 1 << 20
+
+    def test_bucket_out_of_range(self, cfg):
+        lay = TreeLayout(cfg)
+        with pytest.raises(ValueError):
+            lay.data_addr(cfg.n_buckets, 0)
+        with pytest.raises(ValueError):
+            lay.meta_addr(-1)
+
+    def test_no_overlapping_buckets(self, cfg):
+        from repro.oram.tree import level_of
+        lay = TreeLayout(cfg)
+        prev_end = 0
+        for b in range(min(cfg.n_buckets, 64)):
+            start = lay.data_addr(b, 0)
+            assert start == prev_end
+            prev_end = start + cfg.geometry[level_of(b)].z_total * 64

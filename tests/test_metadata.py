@@ -1,0 +1,131 @@
+"""Unit tests for the metadata bit budget (repro.oram.metadata, Table I)."""
+
+import pytest
+
+from repro.core import schemes
+from repro.oram.metadata import (
+    ab_metadata_fields,
+    deadq_onchip_bytes,
+    metadata_bits,
+    metadata_blocks,
+    metadata_bytes,
+    ring_metadata_fields,
+    summarize,
+    table1,
+)
+
+
+@pytest.fixture
+def paper_cfg():
+    """The paper's AB configuration at 24 levels."""
+    return schemes.ab_scheme(24)
+
+
+@pytest.fixture
+def paper_baseline():
+    return schemes.baseline_cb(24)
+
+
+class TestRingFields:
+    def test_field_names(self, paper_baseline):
+        names = {f.name for f in ring_metadata_fields(paper_baseline)}
+        assert names == {"count", "addr", "label", "ptr", "valid"}
+
+    def test_valid_is_one_bit_per_slot(self, paper_baseline):
+        fields = {f.name: f for f in ring_metadata_fields(paper_baseline)}
+        assert fields["valid"].bits == paper_baseline.geometry[-1].z_total
+
+    def test_addr_scales_with_z_real(self, paper_baseline):
+        fields = {f.name: f for f in ring_metadata_fields(paper_baseline)}
+        assert fields["addr"].bits % paper_baseline.geometry[-1].z_real == 0
+
+    def test_categories(self, paper_baseline):
+        for f in ring_metadata_fields(paper_baseline):
+            assert f.category in ("block", "slot")
+
+
+class TestAbFields:
+    def test_adds_exactly_five(self, paper_cfg):
+        ring = {f.name for f in ring_metadata_fields(paper_cfg)}
+        ab = {f.name for f in ab_metadata_fields(paper_cfg)}
+        assert ab - ring == {"remote", "remoteAddr", "remoteInd",
+                             "dynamicS", "status"}
+
+    def test_status_two_bits_per_slot(self, paper_cfg):
+        fields = {f.name: f for f in ab_metadata_fields(paper_cfg)}
+        assert fields["status"].bits == 2 * paper_cfg.geometry[-1].z_total
+
+    def test_remote_fields_scale_with_r(self, paper_cfg):
+        fields = {f.name: f for f in ab_metadata_fields(paper_cfg)}
+        assert fields["remote"].bits == paper_cfg.max_remote_slots
+
+    def test_ab_superset_of_ring_bits(self, paper_cfg):
+        assert metadata_bits(ab_metadata_fields(paper_cfg)) > metadata_bits(
+            ring_metadata_fields(paper_cfg)
+        )
+
+
+class TestPaperSizing:
+    def test_ring_metadata_fits_one_block(self, paper_baseline):
+        """Paper section VIII-H: Ring metadata is 33B < 64B."""
+        s = summarize(paper_baseline)
+        assert s["ring_blocks"] == 1
+        assert 28 <= s["ring_bytes"] <= 40
+
+    def test_ab_metadata_fits_one_block(self, paper_cfg):
+        """Paper: 33B + 28B = 61B <= 64B with R = 6."""
+        s = summarize(paper_cfg)
+        assert s["fits_one_block"]
+        assert s["ab_blocks"] == 1
+
+    def test_ab_extra_is_about_28_bytes(self, paper_cfg):
+        s = summarize(paper_cfg)
+        assert 20 <= s["ab_extra_bytes"] <= 32
+
+    def test_metadata_blocks_grows_with_r(self, paper_cfg):
+        import dataclasses
+        big_r = dataclasses.replace(paper_cfg, max_remote_slots=40,
+                                    geometry=paper_cfg.geometry)
+        fields = ab_metadata_fields(big_r)
+        assert metadata_blocks(big_r, fields) >= 2
+
+
+class TestTable1:
+    def test_rows_cover_all_fields(self, paper_cfg):
+        rows = table1(paper_cfg)
+        assert set(rows) == {"count", "addr", "label", "ptr", "valid",
+                             "remote", "remoteAddr", "remoteInd",
+                             "dynamicS", "status"}
+
+    def test_ring_columns_zero_for_ab_only_fields(self, paper_cfg):
+        rows = table1(paper_cfg)
+        for name in ("remote", "remoteAddr", "remoteInd", "dynamicS", "status"):
+            assert rows[name]["ring_bits"] == 0
+            assert rows[name]["ab_bits"] > 0
+
+    def test_shared_fields_agree(self, paper_cfg):
+        rows = table1(paper_cfg)
+        for name in ("addr", "label", "ptr", "valid"):
+            assert rows[name]["ring_bits"] == rows[name]["ab_bits"]
+
+
+class TestDeadqOverhead:
+    def test_paper_onchip_budget(self, paper_cfg):
+        """Six 1000-entry queues of {bucket id, slot} ~ 21KB."""
+        size = deadq_onchip_bytes(paper_cfg)
+        assert 18 * 1024 <= size <= 24 * 1024
+
+    def test_zero_without_tracked_levels(self, paper_baseline):
+        assert deadq_onchip_bytes(paper_baseline) == 0
+
+    def test_scales_with_capacity(self, paper_cfg):
+        import dataclasses
+        doubled = dataclasses.replace(paper_cfg, deadq_capacity=2000,
+                                      geometry=paper_cfg.geometry)
+        assert deadq_onchip_bytes(doubled) == 2 * deadq_onchip_bytes(paper_cfg)
+
+
+class TestHelpers:
+    def test_bytes_rounds_up(self, paper_baseline):
+        fields = ring_metadata_fields(paper_baseline)
+        assert metadata_bytes(fields) == (metadata_bits(fields) + 7) // 8

@@ -1,0 +1,125 @@
+"""Tests for the controller observer protocol (repro.oram.observer)."""
+
+import numpy as np
+import pytest
+
+from conftest import tiny_ab_config, tiny_config
+
+from repro.core.ab_oram import build_oram
+from repro.oram.observer import BaseObserver
+from repro.oram.stats import OpKind
+
+
+class Recorder(BaseObserver):
+    """Observer recording every event for assertions."""
+
+    def __init__(self):
+        self.accesses = []
+        self.read_paths = []
+        self.deaths = []
+        self.reclaims = []
+        self.reshuffles = []
+        self.evictions = []
+
+    def on_access_start(self, access_no):
+        self.accesses.append(access_no)
+
+    def on_read_path(self, leaf, reads, target_bucket):
+        self.read_paths.append((leaf, list(reads), target_bucket))
+
+    def on_slot_dead(self, bucket, slot, level):
+        self.deaths.append((bucket, slot, level))
+
+    def on_slot_reclaimed(self, bucket, slot, level, how):
+        self.reclaims.append((bucket, slot, level, how))
+
+    def on_reshuffle(self, bucket, level, kind):
+        self.reshuffles.append((bucket, level, kind))
+
+    def on_evict_path(self, leaf):
+        self.evictions.append(leaf)
+
+
+def drive(cfg, n=60, seed=0):
+    rec = Recorder()
+    oram = build_oram(cfg, seed=seed, observers=[rec])
+    oram.warm_fill()
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        oram.access(int(rng.integers(cfg.n_real_blocks)))
+    return oram, rec
+
+
+class TestBaseObserver:
+    def test_all_hooks_are_noops(self):
+        obs = BaseObserver()
+        obs.on_access_start(1)
+        obs.on_read_path(0, [], -1)
+        obs.on_slot_dead(0, 0, 0)
+        obs.on_slot_reclaimed(0, 0, 0, "reshuffle")
+        obs.on_reshuffle(0, 0, OpKind.EVICT_PATH)
+        obs.on_evict_path(0)
+
+
+class TestEventStream:
+    def test_access_numbers_monotone(self, cfg_small):
+        _, rec = drive(cfg_small)
+        assert rec.accesses == sorted(rec.accesses)
+        assert rec.accesses[0] == 1
+
+    def test_one_read_per_level_per_path(self, cfg_small):
+        _, rec = drive(cfg_small)
+        for _leaf, reads, _tb in rec.read_paths:
+            assert len(reads) == cfg_small.levels
+            levels = sorted(r[2] for r in reads if not r[3])
+            # Non-remote reads cover their own levels exactly once.
+            assert len(levels) == len(set(levels))
+
+    def test_target_bucket_is_on_path(self, cfg_small):
+        from repro.oram.tree import bucket_on_path
+        _, rec = drive(cfg_small)
+        found = 0
+        for leaf, _reads, tb in rec.read_paths:
+            if tb >= 0:
+                found += 1
+                assert bucket_on_path(tb, leaf, cfg_small.levels)
+        assert found > 0
+
+    def test_eviction_count_matches_rate(self, cfg_small):
+        oram, rec = drive(cfg_small, n=30)
+        expected = (30 + oram.background_accesses) // cfg_small.evict_rate
+        assert len(rec.evictions) == expected
+
+    def test_every_death_eventually_reclaimable(self, cfg_small):
+        """Reclaim events only ever name slots that died before."""
+        _, rec = drive(cfg_small, n=80)
+        died = set((b, s) for b, s, _ in rec.deaths)
+        for b, s, _lv, _how in rec.reclaims:
+            assert (b, s) in died
+
+    def test_reclaim_reasons(self, cfg_ab_small):
+        _, rec = drive(cfg_ab_small, n=250, seed=3)
+        reasons = {how for _, _, _, how in rec.reclaims}
+        assert "reshuffle" in reasons
+        assert "remote" in reasons  # rentals happened
+
+    def test_reshuffle_kinds(self, cfg_small):
+        _, rec = drive(cfg_small, n=80)
+        kinds = {k for _, _, k in rec.reshuffles}
+        assert OpKind.EVICT_PATH in kinds
+
+    def test_remote_reads_flagged(self, cfg_ab_small):
+        _, rec = drive(cfg_ab_small, n=250, seed=3)
+        remote = [r for _, reads, _ in rec.read_paths
+                  for r in reads if r[3]]
+        assert remote, "no remote reads observed"
+        band = set(cfg_ab_small.deadq_levels)
+        for _b, _s, lv, _ in remote:
+            assert lv in band
+
+    def test_multiple_observers_all_notified(self, cfg_small):
+        a, b = Recorder(), Recorder()
+        oram = build_oram(cfg_small, seed=0, observers=[a, b])
+        for i in range(10):
+            oram.access(i % cfg_small.n_real_blocks)
+        assert len(a.read_paths) == len(b.read_paths) > 0

@@ -1,0 +1,78 @@
+"""Tests for result persistence (repro.sim.persist)."""
+
+import json
+
+import pytest
+
+from repro.core import schemes
+from repro.sim import SimConfig
+from repro.sim.persist import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    results_to_csv,
+    save_results,
+)
+from repro.sim.runner import run_schemes
+from repro.traces.spec import spec_trace
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    cfgs = schemes.main_schemes(8)[:2]
+    trace = spec_trace("gcc", cfgs[0].n_real_blocks, 120, seed=1)
+    results = run_schemes(cfgs, trace, SimConfig(seed=1))
+    return {k: {"gcc": v} for k, v in results.items()}
+
+
+class TestDictRoundtrip:
+    def test_roundtrip(self, matrix):
+        r = matrix["Baseline"]["gcc"]
+        back = result_from_dict(result_to_dict(r))
+        assert back == r
+
+    def test_derived_fields_recomputed(self, matrix):
+        r = matrix["Baseline"]["gcc"]
+        back = result_from_dict(result_to_dict(r))
+        assert back.bandwidth_gbps == r.bandwidth_gbps
+
+
+class TestJson:
+    def test_save_load_roundtrip(self, matrix, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(matrix, path)
+        loaded = load_results(path)
+        assert set(loaded) == set(matrix)
+        assert loaded["Baseline"]["gcc"] == matrix["Baseline"]["gcc"]
+
+    def test_file_is_valid_json(self, matrix, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(matrix, path)
+        payload = json.loads(path.read_text())
+        assert payload["_format"] == 1
+
+    def test_format_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"_format": 99, "schemes": {}}))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_results(path)
+
+
+class TestCsv:
+    def test_rows_written(self, matrix, tmp_path):
+        path = tmp_path / "results.csv"
+        n = results_to_csv(matrix, path)
+        assert n == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("scheme,benchmark,")
+
+    def test_extension_ratio_blank_for_none(self, matrix, tmp_path):
+        path = tmp_path / "r.csv"
+        results_to_csv(matrix, path)
+        content = path.read_text()
+        assert "Baseline,gcc" in content
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            results_to_csv({}, tmp_path / "e.csv")

@@ -1,0 +1,191 @@
+"""Unit tests for remote allocation (repro.core.remote)."""
+
+import pytest
+
+from conftest import tiny_ab_config
+
+from repro.core.remote import RemoteAllocator
+from repro.oram.bucket import CONSUMED, DUMMY, BucketStore, SlotStatus
+from repro.oram.ring import RingOram
+
+
+@pytest.fixture
+def setup(cfg_ab_small):
+    """An allocator bound to a fresh controller (no traffic yet)."""
+    alloc = RemoteAllocator(cfg_ab_small)
+    oram = RingOram(cfg_ab_small, extensions=alloc, seed=0)
+    return cfg_ab_small, oram, alloc
+
+
+def leaf_bucket(cfg, pos=0):
+    return (1 << (cfg.levels - 1)) - 1 + pos
+
+
+def make_dead(store, bucket, slots):
+    for s in slots:
+        store.consume(bucket, s)
+
+
+class TestGather:
+    def test_gathers_dead_slots(self, setup):
+        cfg, oram, alloc = setup
+        b = leaf_bucket(cfg, 0)
+        lv = cfg.levels - 1
+        make_dead(oram.store, b, [0, 1])
+        queued = alloc.gather(b, lv)
+        assert queued == 2
+        assert oram.store.get_status(b, 0) == SlotStatus.QUEUED
+        assert len(alloc.queues.get(lv)) == 2
+
+    def test_untracked_level_ignored(self, setup):
+        cfg, oram, alloc = setup
+        make_dead(oram.store, 0, [0])
+        assert alloc.gather(0, 0) == 0
+
+    def test_leaves_one_free_slot(self, setup):
+        """A bucket never has all its slots ALLOCATED."""
+        cfg, oram, alloc = setup
+        b = leaf_bucket(cfg, 1)
+        lv = cfg.levels - 1
+        z = oram.store.z_phys(b)
+        make_dead(oram.store, b, range(z))
+        queued = alloc.gather(b, lv)
+        assert queued == z - 1
+
+    def test_respects_queue_capacity(self, cfg_ab_small):
+        import dataclasses
+        cfg = dataclasses.replace(cfg_ab_small, deadq_capacity=1,
+                                  geometry=cfg_ab_small.geometry)
+        alloc = RemoteAllocator(cfg)
+        oram = RingOram(cfg, extensions=alloc, seed=0)
+        b = leaf_bucket(cfg, 0)
+        lv = cfg.levels - 1
+        make_dead(oram.store, b, [0, 1])
+        assert alloc.gather(b, lv) == 1
+
+    def test_nothing_dead_nothing_queued(self, setup):
+        cfg, oram, alloc = setup
+        assert alloc.gather(leaf_bucket(cfg), cfg.levels - 1) == 0
+
+
+class TestAcquire:
+    def test_all_or_nothing_shortage(self, setup):
+        cfg, oram, alloc = setup
+        b = leaf_bucket(cfg, 0)
+        lv = cfg.levels - 1
+        # Extension r=1 but the queue is empty.
+        granted, hosts = alloc.acquire(b, lv)
+        assert granted == 0
+        assert hosts == []
+        assert alloc.extension_attempts == 1
+        assert alloc.extension_grants == 0
+
+    def test_grant(self, setup):
+        cfg, oram, alloc = setup
+        donor = leaf_bucket(cfg, 0)
+        renter = leaf_bucket(cfg, 1)
+        lv = cfg.levels - 1
+        make_dead(oram.store, donor, [0])
+        alloc.gather(donor, lv)
+        granted, hosts = alloc.acquire(renter, lv)
+        assert granted == 1
+        assert hosts == [(donor, 0)]
+        assert oram.store.get_status(donor, 0) == SlotStatus.IN_USE
+        assert alloc.extension_ratio == pytest.approx(1.0)
+
+    def test_never_rents_own_slot(self, setup):
+        cfg, oram, alloc = setup
+        b = leaf_bucket(cfg, 0)
+        lv = cfg.levels - 1
+        make_dead(oram.store, b, [0])
+        alloc.gather(b, lv)
+        granted, hosts = alloc.acquire(b, lv)
+        assert granted == 0
+        # The entry must still be available for another bucket.
+        granted2, hosts2 = alloc.acquire(leaf_bucket(cfg, 1), lv)
+        assert granted2 == 1
+
+    def test_zero_extension_levels_never_attempt(self, setup):
+        cfg, oram, alloc = setup
+        granted, hosts = alloc.acquire(0, 0)
+        assert granted == 0
+        assert alloc.extension_attempts == 0
+
+
+class TestRentalLifecycle:
+    def _rent(self, setup):
+        cfg, oram, alloc = setup
+        donor = leaf_bucket(cfg, 0)
+        renter = leaf_bucket(cfg, 1)
+        lv = cfg.levels - 1
+        make_dead(oram.store, donor, [0])
+        alloc.gather(donor, lv)
+        alloc.acquire(renter, lv)
+        return cfg, oram, alloc, donor, renter
+
+    def test_write_remote_sets_content(self, setup):
+        cfg, oram, alloc, donor, renter = self._rent(setup)
+        alloc.write_remote(renter, (donor, 0), 42)
+        assert alloc.find_remote_block(renter, 42) == (donor, 0)
+
+    def test_write_remote_unknown_host_raises(self, setup):
+        cfg, oram, alloc, donor, renter = self._rent(setup)
+        with pytest.raises(KeyError):
+            alloc.write_remote(renter, (donor, 3), 42)
+
+    def test_consume_remote_returns_content(self, setup):
+        cfg, oram, alloc, donor, renter = self._rent(setup)
+        alloc.write_remote(renter, (donor, 0), 42)
+        content = alloc.consume_remote(renter, (donor, 0))
+        assert content == 42
+        assert oram.store.get_status(donor, 0) == SlotStatus.DEAD
+        assert oram.store.slots[donor, 0] == CONSUMED
+        assert oram.store.count[renter] == 1
+        assert alloc.remote_real_reads == 1
+
+    def test_consume_remote_dummy_counts(self, setup):
+        cfg, oram, alloc, donor, renter = self._rent(setup)
+        assert alloc.consume_remote(renter, (donor, 0)) == DUMMY
+        assert alloc.remote_reads == 1
+        assert alloc.remote_real_reads == 0
+
+    def test_consumed_rental_disappears(self, setup):
+        cfg, oram, alloc, donor, renter = self._rent(setup)
+        alloc.consume_remote(renter, (donor, 0))
+        assert alloc.rentals_of(renter) == []
+        assert alloc.active_rentals() == 0
+
+    def test_reclaim_returns_reals_and_requeues(self, setup):
+        cfg, oram, alloc, donor, renter = self._rent(setup)
+        alloc.write_remote(renter, (donor, 0), 99)
+        reals, released = alloc.reclaim(renter)
+        assert reals == [99]
+        assert released == [(donor, 0)]
+        assert oram.store.get_status(donor, 0) == SlotStatus.QUEUED
+        # The slot is rentable again.
+        granted, hosts = alloc.acquire(leaf_bucket(cfg, 2), cfg.levels - 1)
+        assert granted == 1
+        assert hosts == [(donor, 0)]
+
+    def test_reclaim_without_rentals(self, setup):
+        cfg, oram, alloc = setup
+        assert alloc.reclaim(leaf_bucket(cfg, 3)) == ([], [])
+
+    def test_remote_real_blocks_inventory(self, setup):
+        cfg, oram, alloc, donor, renter = self._rent(setup)
+        alloc.write_remote(renter, (donor, 0), 77)
+        assert alloc.remote_real_blocks() == [(renter, 77)]
+
+    def test_stats_shape(self, setup):
+        cfg, oram, alloc, donor, renter = self._rent(setup)
+        s = alloc.stats()
+        assert s["extension_grants"] == 1
+        assert s["active_rentals"] == 1
+        assert cfg.levels - 1 in s["queues"]
+
+
+class TestUnbound:
+    def test_unbound_allocator_raises(self, cfg_ab_small):
+        alloc = RemoteAllocator(cfg_ab_small)
+        with pytest.raises(RuntimeError):
+            _ = alloc.store

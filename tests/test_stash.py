@@ -1,0 +1,118 @@
+"""Unit tests for the stash (repro.oram.stash)."""
+
+import pytest
+
+from repro.oram.stash import Stash, StashOverflowError
+
+
+class TestBasics:
+    def test_empty(self):
+        s = Stash(10)
+        assert len(s) == 0
+        assert 3 not in s
+
+    def test_add_and_contains(self):
+        s = Stash(10)
+        s.add(3, 7)
+        assert 3 in s
+        assert s.leaf_of(3) == 7
+        assert s.occupancy == 1
+
+    def test_add_updates_leaf(self):
+        s = Stash(10)
+        s.add(3, 7)
+        s.add(3, 9)
+        assert s.leaf_of(3) == 9
+        assert s.occupancy == 1
+
+    def test_remove(self):
+        s = Stash(10)
+        s.add(3, 7)
+        assert s.remove(3) == 7
+        assert 3 not in s
+
+    def test_remove_missing_raises(self):
+        s = Stash(10)
+        with pytest.raises(KeyError):
+            s.remove(3)
+
+    def test_remap(self):
+        s = Stash(10)
+        s.add(3, 7)
+        s.remap(3, 1)
+        assert s.leaf_of(3) == 1
+
+    def test_remap_missing_raises(self):
+        s = Stash(10)
+        with pytest.raises(KeyError):
+            s.remap(3, 1)
+
+    def test_negative_block_rejected(self):
+        s = Stash(10)
+        with pytest.raises(ValueError):
+            s.add(-1, 0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Stash(0)
+
+
+class TestOverflowAndPeak:
+    def test_overflow_raises(self):
+        s = Stash(2)
+        s.add(0, 0)
+        s.add(1, 0)
+        with pytest.raises(StashOverflowError):
+            s.add(2, 0)
+        assert s.overflow_events == 1
+
+    def test_peak_tracks_maximum(self):
+        s = Stash(10)
+        for i in range(5):
+            s.add(i, 0)
+        for i in range(5):
+            s.remove(i)
+        assert s.peak_occupancy == 5
+        assert s.occupancy == 0
+
+    def test_total_inserts_counts_updates(self):
+        s = Stash(10)
+        s.add(1, 0)
+        s.add(1, 1)
+        assert s.total_inserts == 2
+
+
+class TestCandidates:
+    def test_same_leaf_block_is_deepest(self):
+        s = Stash(10)
+        s.add(1, 5)
+        cands = s.candidates_for(5, 0, levels=4)
+        assert cands == [(1, 3)]
+
+    def test_min_level_filters(self):
+        s = Stash(10)
+        s.add(1, 0)   # leaf 0
+        s.add(2, 7)   # opposite half for evict leaf 0
+        cands = s.candidates_for(0, 1, levels=4)
+        assert [b for b, _ in cands] == [1]
+
+    def test_sorted_deepest_first(self):
+        s = Stash(10)
+        s.add(1, 0)
+        s.add(2, 1)
+        s.add(3, 4)
+        cands = s.candidates_for(0, 0, levels=4)
+        depths = [d for _, d in cands]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_limit(self):
+        s = Stash(10)
+        for i in range(6):
+            s.add(i, 0)
+        assert len(s.candidates_for(0, 0, levels=4, limit=3)) == 3
+
+    def test_blocks_iteration(self):
+        s = Stash(10)
+        s.add(1, 2)
+        s.add(3, 4)
+        assert dict(s.blocks()) == {1: 2, 3: 4}

@@ -1,0 +1,124 @@
+"""Unit tests for access accounting (repro.oram.stats)."""
+
+import pytest
+
+from repro.oram.stats import CountingSink, MemorySink, OpKind, TeeSink
+
+
+@pytest.fixture
+def sink():
+    return CountingSink(levels=4)
+
+
+class TestCountingSink:
+    def test_ops_counted_per_kind(self, sink):
+        sink.begin_op(OpKind.READ_PATH)
+        sink.end_op()
+        sink.begin_op(OpKind.EVICT_PATH)
+        sink.end_op()
+        sink.begin_op(OpKind.EVICT_PATH)
+        sink.end_op()
+        assert sink.by_kind[OpKind.READ_PATH].ops == 1
+        assert sink.by_kind[OpKind.EVICT_PATH].ops == 2
+
+    def test_data_reads_and_writes(self, sink):
+        sink.begin_op(OpKind.READ_PATH)
+        sink.data_access(0, 0, 0, write=False)
+        sink.data_access(1, 0, 1, write=True)
+        sink.end_op()
+        c = sink.by_kind[OpKind.READ_PATH]
+        assert c.data_reads == 1
+        assert c.data_writes == 1
+
+    def test_per_level_attribution(self, sink):
+        sink.begin_op(OpKind.READ_PATH)
+        sink.data_access(0, 0, 0, write=False)
+        sink.data_access(5, 0, 2, write=False)
+        sink.data_access(5, 1, 2, write=True)
+        sink.end_op()
+        assert sink.data_reads_by_level[0] == 1
+        assert sink.data_reads_by_level[2] == 1
+        assert sink.data_writes_by_level[2] == 1
+
+    def test_onchip_not_counted_as_traffic(self, sink):
+        sink.begin_op(OpKind.READ_PATH)
+        sink.data_access(0, 0, 0, write=False, onchip=True)
+        sink.end_op()
+        c = sink.by_kind[OpKind.READ_PATH]
+        assert c.data_reads == 0
+        assert c.onchip_accesses == 1
+
+    def test_remote_flag_counted(self, sink):
+        sink.begin_op(OpKind.READ_PATH)
+        sink.data_access(0, 0, 0, write=False, remote=True)
+        sink.end_op()
+        assert sink.by_kind[OpKind.READ_PATH].remote_accesses == 1
+
+    def test_metadata_blocks_multiplier(self, sink):
+        sink.begin_op(OpKind.EARLY_RESHUFFLE)
+        sink.metadata_access(0, 0, write=False, blocks=2)
+        sink.end_op()
+        assert sink.by_kind[OpKind.EARLY_RESHUFFLE].meta_reads == 2
+
+    def test_nested_op_raises(self, sink):
+        sink.begin_op(OpKind.READ_PATH)
+        with pytest.raises(RuntimeError):
+            sink.begin_op(OpKind.EVICT_PATH)
+
+    def test_end_without_begin_raises(self, sink):
+        with pytest.raises(RuntimeError):
+            sink.end_op()
+
+    def test_unattributed_accesses_tolerated(self, sink):
+        sink.data_access(0, 0, 0, write=False)
+        assert sink.unattributed_accesses == 1
+
+    def test_total_offchip_and_bytes(self, sink):
+        sink.begin_op(OpKind.READ_PATH)
+        sink.data_access(0, 0, 0, write=False)
+        sink.metadata_access(0, 0, write=True)
+        sink.end_op()
+        assert sink.total_offchip == 2
+        assert sink.total_bytes == 128
+
+    def test_reset(self, sink):
+        sink.begin_op(OpKind.READ_PATH)
+        sink.data_access(0, 0, 0, write=False)
+        sink.end_op()
+        sink.reset()
+        assert sink.total_offchip == 0
+        assert sink.by_kind[OpKind.READ_PATH].ops == 0
+
+    def test_summary_shape(self, sink):
+        sink.begin_op(OpKind.BACKGROUND)
+        sink.end_op()
+        s = sink.summary()
+        assert s["background"]["ops"] == 1
+        assert set(s) == {"readPath", "evictPath", "earlyReshuffle",
+                          "background", "posMap"}
+
+
+class TestTeeSink:
+    def test_fans_out(self):
+        a, b = CountingSink(2), CountingSink(2)
+        tee = TeeSink(a, b)
+        tee.begin_op(OpKind.READ_PATH)
+        tee.data_access(0, 0, 0, write=False)
+        tee.metadata_access(0, 0, write=True)
+        tee.end_op()
+        for s in (a, b):
+            assert s.by_kind[OpKind.READ_PATH].data_reads == 1
+            assert s.by_kind[OpKind.READ_PATH].meta_writes == 1
+
+    def test_requires_a_sink(self):
+        with pytest.raises(ValueError):
+            TeeSink()
+
+
+class TestBaseSink:
+    def test_base_sink_is_silent(self):
+        s = MemorySink()
+        s.begin_op(OpKind.READ_PATH)
+        s.data_access(0, 0, 0, write=False)
+        s.metadata_access(0, 0, write=False)
+        s.end_op()

@@ -1,0 +1,82 @@
+"""Tests for trace composition (repro.traces.mix)."""
+
+import pytest
+
+from repro.traces.mix import concat, interleave
+from repro.traces.spec import spec_trace
+from repro.traces.trace import Trace, TraceRequest
+
+
+def make(name, n, read_mpki, write_mpki, base=0):
+    reqs = [TraceRequest(base + i, i % 2 == 0) for i in range(n)]
+    return Trace(name, reqs, read_mpki, write_mpki)
+
+
+class TestConcat:
+    def test_length_is_sum(self):
+        t = concat([make("a", 10, 1, 1), make("b", 20, 1, 1)])
+        assert len(t) == 30
+
+    def test_order_preserved(self):
+        a = make("a", 3, 1, 1, base=0)
+        b = make("b", 2, 1, 1, base=100)
+        t = concat([a, b])
+        assert [r.block for r in t] == [0, 1, 2, 100, 101]
+
+    def test_mpki_weighted_blend(self):
+        a = make("a", 100, 10.0, 0.1)
+        b = make("b", 300, 2.0, 0.1)
+        t = concat([a, b])
+        assert t.read_mpki == pytest.approx((10 * 100 + 2 * 300) / 400)
+
+    def test_default_name(self):
+        t = concat([make("a", 2, 1, 1), make("b", 2, 1, 1)])
+        assert t.name == "a+b"
+        assert t.suite == "mix"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+
+class TestInterleave:
+    def test_single_trace_passthrough(self):
+        a = make("a", 5, 1, 1)
+        assert interleave([a]) is a
+
+    def test_rates_sum(self):
+        a = make("a", 50, 2.0, 1.0)
+        b = make("b", 50, 4.0, 1.0)
+        t = interleave([a, b])
+        assert t.total_mpki == pytest.approx(8.0)
+
+    def test_faster_stream_appears_more_often(self):
+        slow = make("slow", 200, 1.0, 0.001, base=0)
+        fast = make("fast", 200, 4.0, 0.001, base=1000)
+        t = interleave([slow, fast])
+        head = t.requests[: len(t) // 2]
+        fast_share = sum(1 for r in head if r.block >= 1000) / len(head)
+        assert fast_share > 0.6
+
+    def test_both_streams_represented(self):
+        a = make("a", 60, 1.0, 0.1, base=0)
+        b = make("b", 60, 1.0, 0.1, base=500)
+        t = interleave([a, b])
+        blocks = {r.block for r in t}
+        assert any(x < 500 for x in blocks)
+        assert any(x >= 500 for x in blocks)
+
+    def test_drives_simulator(self):
+        from repro.core import schemes
+        from repro.sim import SimConfig, simulate
+        cfg = schemes.ab_scheme(8)
+        a = spec_trace("mcf", cfg.n_real_blocks, 100, seed=1)
+        b = spec_trace("gcc", cfg.n_real_blocks, 100, seed=2)
+        t = interleave([a, b])
+        result = simulate(cfg, t, SimConfig(seed=1))
+        assert result.exec_ns > 0
+        assert result.trace == "mcf||gcc"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            interleave([])

@@ -1,0 +1,127 @@
+"""Tests for the configuration doctor and the analytic figures API."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import figures
+from repro.core import schemes
+from repro.oram.config import BucketGeometry, OramConfig, override_levels, uniform_geometry
+from repro.oram.validate import (
+    ERROR,
+    INFO,
+    WARNING,
+    UnsoundConfigError,
+    assert_sound,
+    diagnose,
+)
+
+
+class TestDiagnose:
+    def test_paper_schemes_have_no_errors(self):
+        for cfg in schemes.main_schemes(24):
+            errors = [f for f in diagnose(cfg) if f.severity == ERROR]
+            assert not errors, (cfg.name, errors)
+
+    def test_zero_sustain_flagged(self):
+        cfg = OramConfig(levels=4,
+                         geometry=uniform_geometry(4, 5, 0, overlap=0))
+        codes = {f.code for f in diagnose(cfg) if f.severity == ERROR}
+        assert "sustain-zero" in codes
+
+    def test_extension_without_deadq_flagged(self):
+        geom = override_levels(
+            uniform_geometry(4, 5, 3, overlap=2),
+            {3: BucketGeometry(5, 1, overlap=2, remote_extension=2)},
+        )
+        cfg = OramConfig(levels=4, geometry=geom)  # no deadq_levels!
+        codes = {f.code for f in diagnose(cfg) if f.severity == ERROR}
+        assert "extension-untracked" in codes
+
+    def test_deadq_without_extension_warns(self):
+        cfg = OramConfig(levels=4,
+                         geometry=uniform_geometry(4, 5, 3, overlap=2),
+                         deadq_levels=(3,))
+        codes = {f.code for f in diagnose(cfg) if f.severity == WARNING}
+        assert "deadq-unused" in codes
+
+    def test_overfull_flagged(self):
+        cfg = OramConfig(levels=4,
+                         geometry=uniform_geometry(4, 5, 3, overlap=2),
+                         n_real_blocks=15 * 8)  # every slot "real"
+        codes = {f.code for f in diagnose(cfg) if f.severity == ERROR}
+        assert "overfull" in codes or "zreal-overfull" in codes
+
+    def test_stash_headroom_warns(self):
+        cfg = OramConfig(levels=8,
+                         geometry=uniform_geometry(8, 5, 3, overlap=2),
+                         stash_capacity=50,
+                         background_evict_threshold=45)
+        codes = {f.code for f in diagnose(cfg)}
+        assert "stash-headroom" in codes
+
+    def test_metadata_overflow_warns(self):
+        cfg = dataclasses.replace(
+            schemes.ab_scheme(24), max_remote_slots=64,
+            geometry=schemes.ab_scheme(24).geometry,
+        )
+        codes = {f.code for f in diagnose(cfg)}
+        assert "metadata-overflow" in codes
+
+    def test_info_findings_present_for_ab(self):
+        infos = [f for f in diagnose(schemes.ab_scheme(24))
+                 if f.severity == INFO]
+        assert any(f.code == "deadq-pressure" for f in infos)
+
+
+class TestAssertSound:
+    def test_passes_paper_config(self):
+        findings = assert_sound(schemes.ab_scheme(24))
+        assert all(f.severity != ERROR for f in findings)
+
+    def test_raises_on_error(self):
+        cfg = OramConfig(levels=4,
+                         geometry=uniform_geometry(4, 5, 0, overlap=0))
+        with pytest.raises(UnsoundConfigError, match="sustain-zero"):
+            assert_sound(cfg)
+
+
+class TestFiguresApi:
+    def test_fig8_space_values(self):
+        rows = {r["scheme"]: r for r in figures.fig8_space()}
+        assert rows["AB"]["normalized"] == pytest.approx(0.645, abs=0.003)
+
+    def test_fig8_utilization_values(self):
+        rows = {r["scheme"]: r for r in figures.fig8_utilization()}
+        assert rows["AB"]["utilization"] == pytest.approx(0.485, abs=0.003)
+
+    def test_fig4_curve_shape(self):
+        rows = figures.fig4_space_curve()
+        assert rows[0]["space_norm"] == 1.0
+        values = [r["space_norm"] for r in rows]
+        assert values == sorted(values, reverse=True)
+        assert values[3] == pytest.approx(0.781, abs=0.002)  # L-3
+
+    def test_fig11_curve(self):
+        rows = figures.fig11_space_curve()
+        assert rows[-1]["config"] == "DR-L18"
+        assert rows[-1]["space_norm"] == pytest.approx(0.754, abs=0.002)
+
+    def test_fig13_grid_complete(self):
+        rows = figures.fig13_space_grid()
+        assert len(rows) == 9
+        by = {r["config"]: r["space_norm"] for r in rows}
+        assert by["L2-S2"] == pytest.approx(0.8125, abs=0.002)
+
+    def test_table1_rows(self):
+        rows = figures.table1_rows()
+        names = {r["field"] for r in rows}
+        assert {"count", "remote", "status", "TOTAL bytes"} <= names
+
+    def test_overheads(self):
+        over = figures.overheads()
+        assert over["ab_metadata_fits_block"]
+
+    def test_scaled_levels_supported(self):
+        rows = figures.fig8_space(levels=10)
+        assert len(rows) == 5
