@@ -1,8 +1,13 @@
 # Convenience targets for the AB-ORAM reproduction.
 
 PYTEST ?= python -m pytest
+PYTHON ?= python
 
-.PHONY: install test bench bench-full figures examples clean
+# Make every target work from a bare checkout (no `pip install -e .`):
+# src/ layout, so the package root just needs to be importable.
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: install test bench bench-full figures examples lint perf-smoke ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,12 +30,37 @@ bench-full:
 	  $(PYTEST) benchmarks/ --benchmark-only
 
 figures:
-	python -m repro space
-	python -m repro sweep --schemes baseline dr ns ab
+	$(PYTHON) -m repro space
+	$(PYTHON) -m repro sweep --schemes baseline dr ns ab
 
 examples:
-	for f in examples/*.py; do echo "== $$f"; python $$f; done
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f; done
 
+# Uses ruff when installed (what CI runs); falls back to the bundled
+# AST-based checker so `make lint` works in a bare environment.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+	  ruff check src tests benchmarks examples tools && \
+	  ruff format --check src tests benchmarks examples tools; \
+	else \
+	  echo "ruff not installed; running tools/lint.py fallback"; \
+	  $(PYTHON) tools/lint.py src tests benchmarks examples tools; \
+	fi
+
+# CI smoke: seconds-scale perf matrix + soft-gated comparison against
+# the committed baseline.
+perf-smoke:
+	$(PYTHON) -m repro perf run --smoke --out BENCH_perf_new.json
+	$(PYTHON) -m repro perf compare \
+	  benchmarks/baselines/BENCH_perf_smoke.json BENCH_perf_new.json \
+	  --warn-only
+
+# Mirror of the CI pipeline: lint, tier-1 tests, perf smoke + compare.
+ci: lint test perf-smoke
+
+# Removes only regenerated artifacts. Committed reference outputs
+# (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.
 clean:
-	rm -rf benchmarks/out .pytest_cache
+	rm -rf benchmarks/generated .pytest_cache .ruff_cache
+	rm -f BENCH_perf_new.json test_output.txt bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

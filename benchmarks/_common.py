@@ -17,8 +17,11 @@ Environment knobs:
   a representative 6-benchmark slice; set to "all" for the full 17)
 
 Each benchmark prints its paper-style rows (run pytest with ``-s`` to
-see them live) and also writes them to ``benchmarks/out/<name>.txt`` so
-EXPERIMENTS.md can reference stable artifacts.
+see them live) and also writes them to ``benchmarks/generated/<name>.txt``
+(gitignored). The committed reference outputs under ``benchmarks/out/``
+are refreshed deliberately by copying from ``generated/`` -- ``make
+clean`` only ever removes ``generated/``, so the checked-in baselines
+that EXPERIMENTS.md references survive a clean.
 """
 
 from __future__ import annotations
@@ -33,7 +36,10 @@ from repro.sim.results import SimResult, geomean
 from repro.sim.runner import run_suite
 from repro.traces.spec import spec_benchmarks
 
+#: Committed reference outputs (never written by test runs).
 OUT_DIR = Path(__file__).resolve().parent / "out"
+#: Regenerated on every benchmark run; gitignored and `make clean`-able.
+GENERATED_DIR = Path(__file__).resolve().parent / "generated"
 
 #: Representative slice: the memory-bound outlier (mcf), heavy writers
 #: (lbm, xz), mixed (x264), and low-MPKI compute-bound codes (gcc, nab).
@@ -103,11 +109,11 @@ def normalized_geomean(
 
 
 def emit(name: str, text: str) -> None:
-    """Print a figure's text and persist it under benchmarks/out/."""
+    """Print a figure's text and persist it under benchmarks/generated/."""
     print()
     print(text)
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    GENERATED_DIR.mkdir(exist_ok=True)
+    (GENERATED_DIR / f"{name}.txt").write_text(text + "\n")
 
 
 def once(benchmark, fn):

@@ -12,7 +12,6 @@ EXPERIMENTS.md) revolves around.
 
 import dataclasses
 
-import pytest
 
 from _common import bench_levels, bench_requests, emit, once, sim_config
 from repro.analysis.report import render_mapping_table

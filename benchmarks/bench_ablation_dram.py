@@ -11,7 +11,6 @@ gaps shrink under the idealized bus -- i.e. the conclusions do not
 hinge on one timing knob.
 """
 
-import pytest
 
 from _common import bench_levels, bench_requests, bench_warmup, emit, once
 from repro.analysis.report import render_mapping_table

@@ -16,7 +16,6 @@ paper's A=5 point is comfortably inside AB's stable region.
 
 import dataclasses
 
-import pytest
 
 from _common import bench_levels, bench_requests, emit, once, sim_config
 from repro.analysis.report import render_mapping_table

@@ -13,7 +13,6 @@ import pytest
 from _common import (
     bench_levels,
     bench_requests,
-    bench_warmup,
     emit,
     once,
     sim_config,

@@ -46,7 +46,7 @@ def test_fig10_reshuffles_per_level(benchmark):
     results = once(benchmark, run)
 
     series = {
-        name: {l: r.reshuffles_by_level[l] for l in range(lv)}
+        name: {i: r.reshuffles_by_level[i] for i in range(lv)}
         for name, r in results.items()
     }
     emit(

@@ -8,7 +8,6 @@ of magnitude longer -- which is why DeadQ queues only track the bottom
 levels, one queue per level.
 """
 
-import numpy as np
 
 from _common import bench_levels, bench_requests, emit, once
 from repro.analysis.deadblocks import LifetimeTracker
@@ -61,5 +60,5 @@ def test_fig12_dead_block_lifetime(benchmark):
     leaf = by_level[levels_seen[-1]]["avg"]
     assert leaf > 4 * max(top, 1.0)
     # Average lifetime grows (weakly) toward the leaves.
-    avgs = [by_level[l]["avg"] for l in levels_seen]
+    avgs = [by_level[lv]["avg"] for lv in levels_seen]
     assert avgs[-1] == max(avgs)

@@ -7,7 +7,6 @@ geometry-stable across tree sizes -- which is the property that lets
 the timing benchmarks run at reduced L while the space math runs at 24.
 """
 
-import pytest
 
 from _common import bench_requests, emit, once, sim_config
 from repro.analysis.report import render_mapping_table

@@ -6,7 +6,6 @@ VIII-H: Ring metadata ~33B (one 64B block), AB adds ~28B and still
 fits one block with R = 6.
 """
 
-import pytest
 
 from _common import emit, once
 from repro.analysis.report import render_mapping_table

@@ -7,7 +7,6 @@ it *quantitatively*: each cell is the measured ratio to Baseline, and
 the assertions check the table's signs (improved < 1 < more).
 """
 
-import pytest
 
 from _common import bench_levels, bench_requests, emit, once, sim_config
 from repro.analysis.report import render_mapping_table
@@ -34,7 +33,6 @@ def test_table2_scheme_summary(benchmark):
     results = once(benchmark, run)
 
     base = results["Baseline"]
-    base_reshuffles = sum(base.ops_by_kind["earlyReshuffle"] for _ in [0]) or 1
     base_evict_time = base.time_by_kind["evictPath"] or 1.0
 
     rows = []

@@ -8,7 +8,10 @@ Commands:
 - ``sweep``    -- scheme x benchmark matrix with normalized exec times;
 - ``security`` -- the section VI-C guessing-attacker experiment;
 - ``doctor``   -- validate configurations against the soundness rules;
-- ``figures``  -- regenerate the paper's analytic (space-side) figures.
+- ``figures``  -- regenerate the paper's analytic (space-side) figures;
+- ``perf``     -- the performance harness: ``perf run [--smoke]``
+  emits a machine-readable BENCH_perf.json, ``perf compare`` diffs two
+  reports and fails on throughput regressions (the CI gate).
 
 Every command prints the same text tables the benchmarks emit, so the
 CLI doubles as a quick reproduction console.
@@ -179,6 +182,51 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf_run(args: argparse.Namespace) -> int:
+    from repro.perf import run_perf, smoke_config, full_config
+    from repro.perf.report import render_report
+    import json
+
+    factory = smoke_config if args.smoke else full_config
+    overrides = {}
+    if args.schemes:
+        overrides["schemes"] = tuple(args.schemes)
+    if args.benchmarks:
+        overrides["benchmarks"] = tuple(args.benchmarks)
+    if args.levels is not None:
+        overrides["levels"] = args.levels
+    if args.requests is not None:
+        overrides["n_requests"] = args.requests
+    if args.warmup is not None:
+        overrides["warmup_requests"] = args.warmup
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    cfg = factory(progress=lambda msg: print(msg, file=sys.stderr),
+                  **overrides)
+    doc = run_perf(cfg)
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(render_report(doc))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.perf.compare import EXIT_OK, compare_files
+
+    code, messages = compare_files(args.baseline, args.new,
+                                   threshold_pct=args.threshold)
+    for msg in messages:
+        print(msg)
+    if args.warn_only and code != EXIT_OK:
+        print(f"(warn-only: suppressing exit code {code})")
+        return EXIT_OK
+    return code
+
+
 def cmd_security(args: argparse.Namespace) -> int:
     rows = []
     for name in args.schemes:
@@ -263,6 +311,34 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=ALL_SCHEMES)
     p.set_defaults(func=cmd_doctor)
 
+    p = sub.add_parser("perf", help="performance harness (run / compare)")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    pr = perf_sub.add_parser("run", help="run the perf matrix")
+    pr.add_argument("--smoke", action="store_true",
+                    help="seconds-scale matrix for CI")
+    pr.add_argument("--out", default="BENCH_perf.json",
+                    help="report path (default: BENCH_perf.json)")
+    pr.add_argument("--schemes", nargs="+", default=None,
+                    choices=ALL_SCHEMES)
+    pr.add_argument("--benchmarks", nargs="+", default=None)
+    pr.add_argument("--levels", type=int, default=None)
+    pr.add_argument("--requests", type=int, default=None)
+    pr.add_argument("--warmup", type=int, default=None)
+    pr.add_argument("--seed", type=int, default=None)
+    pr.add_argument("--repeats", type=int, default=None,
+                    help="per-cell repeats; wall time is the best run")
+    pr.set_defaults(func=cmd_perf_run)
+
+    pc = perf_sub.add_parser("compare", help="diff two perf reports")
+    pc.add_argument("baseline", help="baseline BENCH_perf.json")
+    pc.add_argument("new", help="candidate BENCH_perf.json")
+    pc.add_argument("--threshold", type=float, default=10.0,
+                    help="max tolerated throughput drop, percent")
+    pc.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (CI soft gate)")
+    pc.set_defaults(func=cmd_perf_compare)
+
     p = sub.add_parser("security", help="guessing-attacker experiment")
     p.add_argument("--schemes", nargs="+", default=["baseline", "ab"],
                    choices=ALL_SCHEMES)
@@ -275,6 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # ``python -m repro perf --smoke`` is sugar for ``perf run --smoke``.
+    if argv and argv[0] == "perf" and (
+        len(argv) == 1 or argv[1].startswith("-")
+    ):
+        argv.insert(1, "run")
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

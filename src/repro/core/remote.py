@@ -36,7 +36,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.dead_queue import DeadQueueSet
-from repro.oram.bucket import CONSUMED, DUMMY, BucketStore, SlotStatus
+from repro.oram.bucket import (
+    CONSUMED,
+    DUMMY,
+    ST_IN_USE,
+    ST_QUEUED,
+    BucketStore,
+    SlotStatus,
+)
 from repro.oram.config import OramConfig
 
 
@@ -86,7 +93,7 @@ class RemoteAllocator:
         z = store.z_phys(bucket)
         st = store.status[bucket, :z]
         allocated = int(
-            ((st == SlotStatus.QUEUED) | (st == SlotStatus.IN_USE)).sum()
+            ((st == ST_QUEUED) | (st == ST_IN_USE)).sum()
         )
         queued = 0
         for slot in dead:
@@ -138,7 +145,7 @@ class RemoteAllocator:
         for hb, hs in got:
             store.set_status(hb, hs, SlotStatus.IN_USE)
             # The host's own row must never expose the rented slot.
-            store.slots[hb, hs] = CONSUMED
+            store.set_slot(hb, hs, CONSUMED)
         self._rentals[bucket] = [[hb, hs, DUMMY] for hb, hs in got]
         self.extension_grants += 1
         return r, list(got)
@@ -205,7 +212,7 @@ class RemoteAllocator:
             if (hb, hs) == host:
                 rentals.pop(i)
                 store = self.store
-                store.slots[hb, hs] = CONSUMED
+                store.set_slot(hb, hs, CONSUMED)
                 store.set_status(hb, hs, SlotStatus.DEAD)
                 store.count[bucket] += 1
                 self.remote_reads += 1

@@ -62,14 +62,22 @@ class DramModel:
         self.timing = timing
         self.mapping = mapping
         n_banks_total = mapping.n_channels * mapping.n_banks
-        self._open_row = np.full(n_banks_total, -1, dtype=np.int64)
-        self._bank_ready = np.zeros(n_banks_total, dtype=np.float64)
-        self._bus_free = np.zeros(mapping.n_channels, dtype=np.float64)
-        self._last_activate = np.full(mapping.n_channels, -1e18)
-        self._last_was_write = np.zeros(mapping.n_channels, dtype=bool)
-        self._refresh_epoch = np.zeros(mapping.n_channels, dtype=np.int64)
+        # Per-bank/per-channel state lives in plain Python lists: the
+        # model is driven one scalar access at a time, and list indexing
+        # avoids the numpy-scalar boxing that dominated the profile.
+        self._open_row = [-1] * n_banks_total
+        self._bank_ready = [0.0] * n_banks_total
+        self._bus_free = [0.0] * mapping.n_channels
+        self._last_activate = [-1e18] * mapping.n_channels
+        self._last_was_write = [False] * mapping.n_channels
+        self._refresh_epoch = [0] * mapping.n_channels
         self.stats = DramStats()
         self.channel_busy_ns = np.zeros(mapping.n_channels, dtype=np.float64)
+        # Address-decomposition constants hoisted out of the hot loop.
+        self._line_bytes = mapping.line_bytes
+        self._n_channels = mapping.n_channels
+        self._lines_per_row = mapping.lines_per_row
+        self._n_banks = mapping.n_banks
 
     def _apply_refresh(self, channel: int, arrival_ns: float) -> None:
         """Lazily account refreshes due on ``channel`` before ``arrival_ns``.
@@ -84,38 +92,51 @@ class DramModel:
         if epoch <= self._refresh_epoch[channel]:
             return
         self._refresh_epoch[channel] = epoch
-        lo = channel * self.mapping.n_banks
-        hi = lo + self.mapping.n_banks
-        self._open_row[lo:hi] = -1
+        lo = channel * self._n_banks
+        hi = lo + self._n_banks
+        self._open_row[lo:hi] = [-1] * self._n_banks
         stall_end = epoch * t.t_refi + t.t_rfc
-        np.maximum(self._bank_ready[lo:hi], stall_end,
-                   out=self._bank_ready[lo:hi])
+        ready = self._bank_ready
+        for i in range(lo, hi):
+            if ready[i] < stall_end:
+                ready[i] = stall_end
         self.stats.refreshes += 1
 
     def access(self, byte_addr: int, write: bool, arrival_ns: float) -> float:
         """Service one 64B request; returns its completion time (ns)."""
         t = self.timing
-        channel, bank, row, _col = self.mapping.decompose(byte_addr)
-        self._apply_refresh(channel, arrival_ns)
-        bank_idx = channel * self.mapping.n_banks + bank
+        # Inline address decomposition (see AddressMapping.decompose);
+        # this runs once per simulated memory request.
+        line = byte_addr // self._line_bytes
+        channel = line % self._n_channels
+        rest = (line // self._n_channels) // self._lines_per_row
+        bank = rest % self._n_banks
+        row = rest // self._n_banks
+        if t.t_refi > 0 and arrival_ns >= (self._refresh_epoch[channel] + 1) * t.t_refi:
+            self._apply_refresh(channel, arrival_ns)
+        bank_idx = channel * self._n_banks + bank
         row_hit = self._open_row[bank_idx] == row
+        bank_ready = self._bank_ready[bank_idx]
         if row_hit:
-            col_ready = max(arrival_ns, float(self._bank_ready[bank_idx]))
+            col_ready = arrival_ns if arrival_ns > bank_ready else bank_ready
+            ready = col_ready + (t.t_cwd if write else t.t_cas)
         else:
             # Precharge, then an activate constrained by the channel's
             # activation rate (tRRD / tFAW window).
-            precharged = max(arrival_ns, float(self._bank_ready[bank_idx])) + t.t_rp
-            activate = max(precharged, float(self._last_activate[channel]) + t.t_rrd)
+            precharged = (arrival_ns if arrival_ns > bank_ready else bank_ready) + t.t_rp
+            rated = self._last_activate[channel] + t.t_rrd
+            activate = precharged if precharged > rated else rated
             self._last_activate[channel] = activate
-            col_ready = activate + t.t_rcd
-        ready = col_ready + t.column_ns(write)
-        bus_free = float(self._bus_free[channel])
-        bus_free += t.turnaround_ns(bool(self._last_was_write[channel]), write)
-        burst_start = max(ready, bus_free)
+            ready = activate + t.t_rcd + (t.t_cwd if write else t.t_cas)
+        bus_free = self._bus_free[channel]
+        prev_write = self._last_was_write[channel]
+        if prev_write != write:
+            bus_free += t.t_wtr if prev_write else t.t_rtw
+        burst_start = ready if ready > bus_free else bus_free
         completion = burst_start + t.burst_ns
         self._bus_free[channel] = completion
         self._last_was_write[channel] = write
-        self._bank_ready[bank_idx] = completion + t.recovery_ns(write)
+        self._bank_ready[bank_idx] = completion + (t.t_wr if write else 0.0)
         self._open_row[bank_idx] = row
         self.channel_busy_ns[channel] += completion - burst_start
         st = self.stats
@@ -144,7 +165,7 @@ class DramModel:
     @property
     def frontier_ns(self) -> float:
         """Earliest time a fresh request could complete everywhere."""
-        return float(self._bus_free.max(initial=0.0))
+        return max(self._bus_free, default=0.0)
 
     def bandwidth_gbps(self, elapsed_ns: float) -> float:
         """Average consumed bandwidth over ``elapsed_ns``."""

@@ -25,7 +25,7 @@ generation, and a stale entry is discarded at dequeue time.
 from __future__ import annotations
 
 import enum
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +43,14 @@ class SlotStatus(enum.IntEnum):
     DEAD = 1
     QUEUED = 2   # paper: ALLOCATED (sitting in a DeadQ)
     IN_USE = 3   # paper: ALLOCATED (hosting a remote block)
+
+
+# Plain ints for hot loops: enum attribute lookup costs a dict walk per
+# access, which adds up at millions of slot scans per simulation.
+ST_REFRESHED = int(SlotStatus.REFRESHED)
+ST_DEAD = int(SlotStatus.DEAD)
+ST_QUEUED = int(SlotStatus.QUEUED)
+ST_IN_USE = int(SlotStatus.IN_USE)
 
 
 class BucketStore:
@@ -75,18 +83,44 @@ class BucketStore:
         self.status = np.zeros((n, zmax), dtype=np.uint8)
         self.generation = np.zeros((n, zmax), dtype=np.uint32)
         self.reshuffles_by_level = np.zeros(cfg.levels, dtype=np.int64)
+        # Memoized per-bucket slot-scan results (valid dummies, usable,
+        # dead, real), invalidated whenever the bucket mutates. Scans
+        # dominate readPath/warm-fill cost otherwise. Writers that poke
+        # ``slots``/``status`` directly must go through ``set_slot`` /
+        # ``set_status`` or call ``invalidate_bucket``.
+        self._scan_cache: Dict[int, Dict[str, np.ndarray]] = {}
+        # Plain-list mirrors of the (immutable) per-bucket geometry:
+        # scalar numpy indexing boxes a fresh object per lookup, which
+        # is measurable at one ``level()``/``z_phys()`` per slot touch.
+        self._level_list: List[int] = self.level_of_bucket.tolist()
+        self._z_list: List[int] = self.z_of_bucket.tolist()
 
     # ------------------------------------------------------------ geometry
 
     def level(self, bucket: int) -> int:
-        return int(self.level_of_bucket[bucket])
+        return self._level_list[bucket]
 
     def z_phys(self, bucket: int) -> int:
-        return int(self.z_of_bucket[bucket])
+        return self._z_list[bucket]
 
     def row(self, bucket: int) -> np.ndarray:
         """Physical slot contents of ``bucket`` (length = its Z)."""
         return self.slots[bucket, : self.z_of_bucket[bucket]]
+
+    # ----------------------------------------------------------- scan cache
+
+    def invalidate_bucket(self, bucket: int) -> None:
+        """Drop memoized scans of ``bucket`` after a direct array write."""
+        self._scan_cache.pop(bucket, None)
+
+    def _cached(
+        self, bucket: int, key: str
+    ) -> Tuple[Dict[str, np.ndarray], "np.ndarray | None"]:
+        c = self._scan_cache.get(bucket)
+        if c is None:
+            c = self._scan_cache[bucket] = {}
+            return c, None
+        return c, c.get(key)
 
     # ------------------------------------------------------------- queries
 
@@ -101,29 +135,63 @@ class BucketStore:
 
         Slots rented to another bucket (IN_USE) or parked in a DeadQ
         (QUEUED) are excluded: the paper marks them ALLOCATED precisely
-        so that "no one else will use" them.
+        so that "no one else will use" them. The result is memoized
+        until the bucket next mutates; callers must not modify it.
         """
-        z = self.z_of_bucket[bucket]
+        c, hit = self._cached(bucket, "dummy")
+        if hit is not None:
+            return hit
+        z = self._z_list[bucket]
         row = self.slots[bucket, :z]
         st = self.status[bucket, :z]
-        return np.nonzero((row == DUMMY) & (st == SlotStatus.REFRESHED))[0]
+        res = ((row == DUMMY) & (st == ST_REFRESHED)).nonzero()[0]
+        c["dummy"] = res
+        return res
 
     def valid_real_slots(self, bucket: int) -> np.ndarray:
-        return np.nonzero(self.row(bucket) >= 0)[0]
+        c, hit = self._cached(bucket, "real")
+        if hit is not None:
+            return hit
+        res = (self.row(bucket) >= 0).nonzero()[0]
+        c["real"] = res
+        return res
 
     def dead_slots(self, bucket: int) -> np.ndarray:
         """Slots whose status is DEAD (consumed, not yet queued/reused)."""
-        z = self.z_of_bucket[bucket]
-        return np.nonzero(self.status[bucket, :z] == SlotStatus.DEAD)[0]
+        c, hit = self._cached(bucket, "dead")
+        if hit is not None:
+            return hit
+        z = self._z_list[bucket]
+        res = (self.status[bucket, :z] == ST_DEAD).nonzero()[0]
+        c["dead"] = res
+        return res
 
     def real_count(self, bucket: int) -> int:
-        return int((self.row(bucket) >= 0).sum())
+        return int(self.valid_real_slots(bucket).size)
 
     def usable_slots(self, bucket: int) -> np.ndarray:
         """Slots this bucket may rewrite at reshuffle (not rented out)."""
-        z = self.z_of_bucket[bucket]
+        c, hit = self._cached(bucket, "usable")
+        if hit is not None:
+            return hit
+        z = self._z_list[bucket]
         st = self.status[bucket, :z]
-        return np.nonzero(st != SlotStatus.IN_USE)[0]
+        res = (st != ST_IN_USE).nonzero()[0]
+        c["usable"] = res
+        return res
+
+    # ------------------------------------------------------- batched queries
+
+    def path_slot_views(self, buckets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Slot contents and statuses of a whole path at once.
+
+        Returns ``(slots, status)`` as two ``(len(buckets), z_max)``
+        arrays (fancy-index copies, so later mutation of the store does
+        not affect them). Padding columns beyond a level's physical Z
+        hold ``UNALLOCATED`` and status REFRESHED, so content-based
+        masks (``== DUMMY``, ``>= 0``) need no extra Z masking.
+        """
+        return self.slots[buckets], self.status[buckets]
 
     # ------------------------------------------------------------- updates
 
@@ -138,8 +206,9 @@ class BucketStore:
                 f"double consume of bucket {bucket} slot {slot} (={content})"
             )
         self.slots[bucket, slot] = CONSUMED
-        self.status[bucket, slot] = SlotStatus.DEAD
+        self.status[bucket, slot] = ST_DEAD
         self.count[bucket] += 1
+        self._scan_cache.pop(bucket, None)
         return content
 
     def refresh(
@@ -158,36 +227,55 @@ class BucketStore:
         exist (checked here).
         """
         usable = self.usable_slots(bucket)
-        if len(real_blocks) > len(usable):
+        n_usable = int(usable.size)
+        if len(real_blocks) > n_usable:
             raise RuntimeError(
                 f"bucket {bucket}: {len(real_blocks)} real blocks but only "
-                f"{len(usable)} usable slots"
+                f"{n_usable} usable slots"
             )
-        # Reclaim queued slots (lazy DeadQ invalidation).
-        queued = usable[self.status[bucket, usable] == SlotStatus.QUEUED]
-        if queued.size:
-            self.generation[bucket, queued] += 1
-        self.slots[bucket, usable] = DUMMY
-        for i, blk in enumerate(real_blocks):
-            self.slots[bucket, usable[i]] = blk
-        self.status[bucket, usable] = SlotStatus.REFRESHED
+        z = self._z_list[bucket]
+        if n_usable == z:
+            # Common case (no slot rented out): contiguous slice writes
+            # instead of fancy indexing.
+            st = self.status[bucket, :z]
+            queued = (st == ST_QUEUED).nonzero()[0]
+            if queued.size:
+                self.generation[bucket, queued] += 1
+            row = self.slots[bucket]
+            row[:z] = DUMMY
+            for i, blk in enumerate(real_blocks):
+                row[i] = blk
+            st[:] = ST_REFRESHED
+            written = list(range(z))
+        else:
+            # Reclaim queued slots (lazy DeadQ invalidation).
+            queued = usable[self.status[bucket, usable] == ST_QUEUED]
+            if queued.size:
+                self.generation[bucket, queued] += 1
+            self.slots[bucket, usable] = DUMMY
+            for i, blk in enumerate(real_blocks):
+                self.slots[bucket, usable[i]] = blk
+            self.status[bucket, usable] = ST_REFRESHED
+            written = usable.tolist()
         self.count[bucket] = 0
-        lvl = self.level(bucket)
+        self._scan_cache.pop(bucket, None)
+        lvl = self._level_list[bucket]
         base = self.cfg.geometry[lvl]
         # Every sustained read consumes a distinct valid slot, so the
         # policy sustain (S + Y) is capped by the slots actually
         # refreshed; remote extension adds slots beyond the bucket.
         self.sustain[bucket] = (
-            min(base.sustain_unextended, len(usable)) + granted_extension
+            min(base.sustain_unextended, n_usable) + granted_extension
         )
         self.reshuffles_by_level[lvl] += 1
-        return [int(s) for s in usable]
+        return written
 
     def needs_reshuffle(self, bucket: int) -> bool:
         return self.count[bucket] >= self.sustain[bucket]
 
     def set_status(self, bucket: int, slot: int, status: SlotStatus) -> None:
         self.status[bucket, slot] = status
+        self._scan_cache.pop(bucket, None)
 
     def get_status(self, bucket: int, slot: int) -> SlotStatus:
         return SlotStatus(int(self.status[bucket, slot]))
@@ -195,9 +283,15 @@ class BucketStore:
     def slot_generation(self, bucket: int, slot: int) -> int:
         return int(self.generation[bucket, slot])
 
+    def set_slot(self, bucket: int, slot: int, value: int) -> None:
+        """Write one slot's content directly (warm fill, remote hosting)."""
+        self.slots[bucket, slot] = value
+        self._scan_cache.pop(bucket, None)
+
     def write_dummy(self, bucket: int, slot: int) -> None:
         """Write a fresh dummy into a specific slot (remote allocation)."""
         self.slots[bucket, slot] = DUMMY
+        self._scan_cache.pop(bucket, None)
 
     # --------------------------------------------------------- global scans
 

@@ -38,7 +38,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.oram import tree as tree_mod
-from repro.oram.bucket import BucketStore, DUMMY, SlotStatus
+from repro.oram.bucket import BucketStore, DUMMY, ST_REFRESHED, SlotStatus
 from repro.oram.config import OramConfig
 from repro.oram.position_map import PositionMap
 from repro.oram.plb import RecursivePosMap
@@ -174,24 +174,29 @@ class RingOram:
         """
         cfg = self.cfg
         overflow = 0
-        order = self.rng.permutation(cfg.n_real_blocks)
-        real_cnt = np.zeros(cfg.n_buckets, dtype=np.int32)
+        order = self.rng.permutation(cfg.n_real_blocks).tolist()
+        # On a fresh store every slot is a valid dummy and fills are
+        # sequential, so slot ``real_cnt[b]`` is always the bucket's
+        # first valid dummy -- no per-placement slot scan needed.
+        real_cnt = [0] * cfg.n_buckets
+        z_real = [g.z_real for g in cfg.geometry]
+        levels = cfg.levels
+        n_leaves = cfg.n_leaves
+        integers = self.rng.integers
+        set_slot = self.store.set_slot
         for block in order:
-            block = int(block)
-            leaf = int(self.rng.integers(cfg.n_leaves))
+            leaf = int(integers(n_leaves))
             self.posmap.set_leaf(block, leaf)
             placed = False
-            for lv in range(cfg.levels - 1, -1, -1):
-                b = (1 << lv) - 1 + (leaf >> (cfg.levels - 1 - lv))
-                if real_cnt[b] >= cfg.geometry[lv].z_real:
+            for lv in range(levels - 1, -1, -1):
+                b = (1 << lv) - 1 + (leaf >> (levels - 1 - lv))
+                slot = real_cnt[b]
+                if slot >= z_real[lv]:
                     continue
-                dummies = self.store.valid_dummy_slots(b)
-                if not dummies.size:
-                    continue
-                self.store.slots[b, dummies[0]] = block
+                set_slot(b, slot, block)
                 if self.datastore is not None:
-                    self.datastore.seal_slot(b, int(dummies[0]), b"\x00" * 64)
-                real_cnt[b] += 1
+                    self.datastore.seal_slot(b, slot, b"\x00" * 64)
+                real_cnt[b] = slot + 1
                 placed = True
                 break
             if not placed:
@@ -204,111 +209,149 @@ class RingOram:
     def _read_path(
         self, leaf: int, target: Optional[int], kind: OpKind
     ) -> List[int]:
-        """One Ring ORAM path read. Returns buckets now due a reshuffle."""
+        """One Ring ORAM path read. Returns buckets now due a reshuffle.
+
+        The metadata work is batched: one whole-path snapshot of slot
+        contents and statuses replaces the per-bucket ``np.where``
+        chains the scalar implementation performed, so the Python-level
+        cost per access is O(levels) dict/sink work instead of
+        O(levels) array-scan pipelines.
+        """
         cfg = self.cfg
         sink = self.sink
         store = self.store
+        ext = self.ext
+        treetop = cfg.treetop_levels
+        mblocks = self.metadata_blocks
         buckets = tree_mod.path_buckets(leaf, cfg.levels)
         sink.begin_op(kind)
         # -- metadata pass (read now, write back at the end of the access)
-        for b in buckets:
-            lv = store.level(b)
-            sink.metadata_access(b, lv, write=False,
-                                 onchip=lv < cfg.treetop_levels,
-                                 blocks=self.metadata_blocks)
-            if self.ext is not None:
-                self.ext.gather(b, lv)
+        # A path holds exactly one bucket per level, root first, so
+        # ``buckets[i]`` sits at level ``i``.
+        meta_items = [(b, lv, lv < treetop) for lv, b in enumerate(buckets)]
+        sink.metadata_access_many(meta_items, write=False, blocks=mblocks)
+        if ext is not None:
+            for lv, b in enumerate(buckets):
+                ext.gather(b, lv)
+        # -- whole-path snapshot, taken after gather() so DeadQ status
+        # flips are visible. Path buckets are distinct and each is read
+        # exactly once below, so the snapshot stays valid while slots
+        # are consumed; remote hosts are never path buckets (a renter's
+        # host sits at the renter's own level, different position).
+        bks = np.asarray(buckets, dtype=np.int64)
+        rows, sts = store.path_slot_views(bks)
         # -- locate the target (the metadata identifies its bucket + slot)
         target_bucket = -1
         target_slot = -1
         target_remote: Optional[Tuple[int, int]] = None
         if target is not None:
-            for b in buckets:
-                s = store.find_block(b, target)
-                if s >= 0:
-                    target_bucket, target_slot = b, s
-                    break
-                if self.ext is not None:
-                    host = self.ext.find_remote_block(b, target)
+            hit_lv, hit_slot = (rows == target).nonzero()
+            if hit_lv.size:
+                target_bucket = buckets[int(hit_lv[0])]
+                target_slot = int(hit_slot[0])
+            elif ext is not None:
+                for b in buckets:
+                    host = ext.find_remote_block(b, target)
                     if host is not None:
                         target_bucket, target_remote = b, host
                         break
-        # -- block pass: one read per bucket
+        # -- valid dummies of every bucket in one vectorized pass;
+        # np.nonzero is row-major, so per-bucket slot lists are
+        # contiguous runs of ``dummy_slot`` in ascending order.
+        dmask = (rows == DUMMY) & (sts == ST_REFRESHED)
+        dcounts = dmask.sum(axis=1).tolist()
+        dummy_slot = dmask.nonzero()[1].tolist()
+        dstarts = [0] * (len(buckets) + 1)
+        acc = 0
+        for i, c in enumerate(dcounts):
+            acc += c
+            dstarts[i + 1] = acc
+        # -- block pass: one read per bucket. Sink touches are collected
+        # and issued as one batch (same order, one phase transition).
         reads: List[Tuple[int, int, int, bool]] = []
-        for b in buckets:
-            lv = store.level(b)
+        sink_items: List[Tuple[int, int, int, bool, bool]] = []
+        for lv, b in enumerate(buckets):
             if b == target_bucket:
                 if target_remote is not None:
                     hb, hs = target_remote
                     self._capture_payload(target, hb, hs)
-                    blockval = self.ext.consume_remote(b, target_remote)
+                    blockval = ext.consume_remote(b, target_remote)
                     hlv = store.level(hb)
                     self._notify_dead(hb, hs, hlv)
-                    sink.data_access(hb, hs, hlv, write=False,
-                                     onchip=hlv < cfg.treetop_levels,
-                                     remote=True)
+                    sink_items.append((hb, hs, hlv, hlv < treetop, True))
                     reads.append((b, hs, hlv, True))
                 else:
                     self._capture_payload(target, b, target_slot)
                     blockval = store.consume(b, target_slot)
                     self._notify_dead(b, target_slot, lv)
-                    sink.data_access(b, target_slot, lv, write=False,
-                                     onchip=lv < cfg.treetop_levels)
+                    sink_items.append((b, target_slot, lv, lv < treetop, False))
                     reads.append((b, target_slot, lv, False))
                 self.stash.add(blockval, self.posmap.peek(blockval))
                 continue
-            self._read_nontarget(b, lv, reads)
+            self._read_nontarget(
+                b, lv, reads, sink_items,
+                dcounts[lv],
+                dummy_slot[dstarts[lv]:dstarts[lv + 1]],
+                rows[lv],
+            )
+        sink.data_access_many(sink_items, write=False)
         # -- metadata write-back
-        for b in buckets:
-            lv = store.level(b)
-            sink.metadata_access(b, lv, write=True,
-                                 onchip=lv < cfg.treetop_levels,
-                                 blocks=self.metadata_blocks)
+        sink.metadata_access_many(meta_items, write=True, blocks=mblocks)
         sink.end_op()
         for obs in self.observers:
             obs.on_read_path(leaf, reads, target_bucket)
-        return [b for b in buckets if store.needs_reshuffle(b)]
+        needs = store.needs_reshuffle
+        return [b for b in buckets if needs(b)]
 
     def _read_nontarget(
-        self, b: int, lv: int, reads: List[Tuple[int, int, int, bool]]
+        self,
+        b: int,
+        lv: int,
+        reads: List[Tuple[int, int, int, bool]],
+        sink_items: List[Tuple[int, int, int, bool, bool]],
+        n_local_dummies: int,
+        local_dummies: List[int],
+        row: np.ndarray,
     ) -> None:
         """Read a non-target block from bucket ``b``.
 
         Dummies first (uniformly among local + remote ones), then green
         blocks (a valid slot holding real content -- local or remote --
         whose block spills to the stash). The sustain accounting
-        guarantees at least one valid slot exists.
+        guarantees at least one valid slot exists. ``local_dummies``
+        and ``row`` come from the caller's whole-path snapshot; the
+        memory touch goes into ``sink_items`` for the caller's batch.
         """
         store = self.store
-        sink = self.sink
         onchip = lv < self.cfg.treetop_levels
-        rentals = self.ext.rentals_of(b) if self.ext is not None else []
-        local_dummies = store.valid_dummy_slots(b)
-        remote_dummies = [(hb, hs) for hb, hs, c in rentals if c == DUMMY]
-        n_dummies = local_dummies.size + len(remote_dummies)
+        rentals = self.ext.rentals_of(b) if self.ext is not None else ()
+        if rentals:
+            remote_dummies = [(hb, hs) for hb, hs, c in rentals if c == DUMMY]
+        else:
+            remote_dummies = []
+        n_dummies = n_local_dummies + len(remote_dummies)
         if n_dummies:
             pick = int(self.rng.integers(n_dummies))
-            if pick < local_dummies.size:
-                slot = int(local_dummies[pick])
+            if pick < n_local_dummies:
+                slot = local_dummies[pick]
                 store.consume(b, slot)
                 self._notify_dead(b, slot, lv)
-                sink.data_access(b, slot, lv, write=False, onchip=onchip)
+                sink_items.append((b, slot, lv, onchip, False))
                 reads.append((b, slot, lv, False))
             else:
-                host = remote_dummies[pick - local_dummies.size]
+                host = remote_dummies[pick - n_local_dummies]
                 self.ext.consume_remote(b, host)
                 hb, hs = host
                 hlv = store.level(hb)
                 self._notify_dead(hb, hs, hlv)
-                sink.data_access(hb, hs, hlv, write=False,
-                                 onchip=hlv < self.cfg.treetop_levels,
-                                 remote=True)
+                sink_items.append((hb, hs, hlv,
+                                   hlv < self.cfg.treetop_levels, True))
                 reads.append((b, hs, hlv, True))
             return
         # Green block: a valid real slot is consumed; the real block
         # returns to the processor and must stay in the stash (CB,
         # paper section III-C).
-        local_greens = store.valid_real_slots(b)
+        local_greens = (row >= 0).nonzero()[0]
         remote_greens = [(hb, hs) for hb, hs, c in rentals if c >= 0]
         n_greens = local_greens.size + len(remote_greens)
         if not n_greens:
@@ -322,7 +365,7 @@ class RingOram:
             self._capture_payload(int(store.slots[b, slot]), b, slot)
             blockval = store.consume(b, slot)
             self._notify_dead(b, slot, lv)
-            sink.data_access(b, slot, lv, write=False, onchip=onchip)
+            sink_items.append((b, slot, lv, onchip, False))
             reads.append((b, slot, lv, False))
         else:
             host = remote_greens[pick - local_greens.size]
@@ -334,8 +377,8 @@ class RingOram:
             blockval = self.ext.consume_remote(b, host)
             hlv = store.level(hb)
             self._notify_dead(hb, hs, hlv)
-            sink.data_access(hb, hs, hlv, write=False,
-                             onchip=hlv < self.cfg.treetop_levels, remote=True)
+            sink_items.append((hb, hs, hlv,
+                               hlv < self.cfg.treetop_levels, True))
             reads.append((b, hs, hlv, True))
         self.stash.add(blockval, self.posmap.peek(blockval))
 
@@ -387,8 +430,10 @@ class RingOram:
                              blocks=self.metadata_blocks)
         # Read phase: Z' reads (valid real blocks padded with dummies --
         # the read count, not the real count, is what memory sees).
-        for _ in range(cfg.geometry[lv].z_real):
-            sink.data_access(b, 0, lv, write=False, onchip=onchip)
+        sink.data_access_many(
+            [(b, 0, lv, onchip, False)] * cfg.geometry[lv].z_real,
+            write=False,
+        )
         self._collect_residents(b)
         self._refill_bucket(b, lv)
         sink.metadata_access(b, lv, write=True, onchip=onchip,
@@ -412,8 +457,10 @@ class RingOram:
             onchip = lv < cfg.treetop_levels
             sink.metadata_access(b, lv, write=False, onchip=onchip,
                                  blocks=self.metadata_blocks)
-            for _ in range(cfg.geometry[lv].z_real):
-                sink.data_access(b, 0, lv, write=False, onchip=onchip)
+            sink.data_access_many(
+                [(b, 0, lv, onchip, False)] * cfg.geometry[lv].z_real,
+                write=False,
+            )
             self._collect_residents(b)
         # Write phase: leaf to root, greedy deepest placement.
         for b in reversed(buckets):
@@ -475,6 +522,7 @@ class RingOram:
         for slot in reclaimed_dead:
             for obs in self.observers:
                 obs.on_slot_reclaimed(b, slot, lv, "reshuffle")
+        write_items: List[Tuple[int, int, int, bool, bool]] = []
         for slot in written:
             if self.datastore is not None:
                 content = int(store.slots[b, slot])
@@ -485,7 +533,7 @@ class RingOram:
                     )
                 else:
                     self.datastore.seal_dummy(b, slot)
-            sink.data_access(b, slot, lv, write=True, onchip=onchip)
+            write_items.append((b, slot, lv, onchip, False))
         for host in hosts:
             if self.ext is not None:
                 self.ext.write_remote(b, host, remote_content[host])
@@ -500,8 +548,8 @@ class RingOram:
                 else:
                     self.datastore.seal_dummy(hb, hs)
             hlv = store.level(hb)
-            sink.data_access(hb, hs, hlv, write=True,
-                             onchip=hlv < cfg.treetop_levels, remote=True)
+            write_items.append((hb, hs, hlv, hlv < cfg.treetop_levels, True))
+        sink.data_access_many(write_items, write=True)
 
     def _pick_stash_blocks(self, b: int, lv: int, capacity: int) -> List[int]:
         """Stash blocks placeable in bucket ``b`` (path membership).

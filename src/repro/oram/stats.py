@@ -20,9 +20,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: One batched data touch: (bucket, slot, level, onchip, remote).
+DataItem = Tuple[int, int, int, bool, bool]
+#: One batched metadata touch: (bucket, level, onchip).
+MetaItem = Tuple[int, int, bool]
 
 
 class OpKind(enum.Enum):
@@ -65,6 +70,26 @@ class MemorySink:
     ) -> None:
         """One bucket-metadata touch (``blocks`` 64B units)."""
 
+    def data_access_many(self, items: Sequence[DataItem], write: bool) -> None:
+        """Batched data touches sharing one direction and protocol phase.
+
+        Semantically identical to calling :meth:`data_access` once per
+        item in order; the batch exists so hot sinks can amortize
+        per-call overhead. Subclasses may override; the default simply
+        loops.
+        """
+        for bucket, slot, level, onchip, remote in items:
+            self.data_access(bucket, slot, level, write,
+                             onchip=onchip, remote=remote)
+
+    def metadata_access_many(
+        self, items: Sequence[MetaItem], write: bool, blocks: int = 1
+    ) -> None:
+        """Batched metadata touches (one whole path at a time)."""
+        for bucket, level, onchip in items:
+            self.metadata_access(bucket, level, write,
+                                 onchip=onchip, blocks=blocks)
+
     def end_op(self) -> None:
         """The current operation finished."""
 
@@ -95,6 +120,7 @@ class CountingSink(MemorySink):
         self.data_reads_by_level = np.zeros(levels, dtype=np.int64)
         self.data_writes_by_level = np.zeros(levels, dtype=np.int64)
         self._current: Optional[OpKind] = None
+        self._cur_counters: Optional[OpCounters] = None
         self.unattributed_accesses = 0
 
     def reset(self) -> None:
@@ -103,19 +129,25 @@ class CountingSink(MemorySink):
         self.data_reads_by_level[:] = 0
         self.data_writes_by_level[:] = 0
         self.unattributed_accesses = 0
+        if self._current is not None:
+            self._cur_counters = self.by_kind[self._current]
 
     def begin_op(self, kind: OpKind) -> None:
         if self._current is not None:
             raise RuntimeError(f"nested operation: {kind} inside {self._current}")
         self._current = kind
-        self.by_kind[kind].ops += 1
+        c = self.by_kind[kind]
+        c.ops += 1
+        # Cached so per-access paths skip the enum-keyed dict lookup.
+        self._cur_counters = c
 
     def _counters(self) -> OpCounters:
-        if self._current is None:
+        c = self._cur_counters
+        if c is None:
             # Tolerate stray accesses (e.g. initialization fill) but flag them.
             self.unattributed_accesses += 1
             return OpCounters()
-        return self.by_kind[self._current]
+        return c
 
     def data_access(
         self,
@@ -156,10 +188,49 @@ class CountingSink(MemorySink):
         else:
             c.meta_reads += blocks
 
+    def data_access_many(self, items: Sequence[DataItem], write: bool) -> None:
+        c = self._cur_counters
+        if c is None:
+            self.unattributed_accesses += len(items)
+            return
+        by_level = self.data_writes_by_level if write else self.data_reads_by_level
+        n = 0
+        for _bucket, _slot, level, onchip, remote in items:
+            if onchip:
+                c.onchip_accesses += 1
+                continue
+            if remote:
+                c.remote_accesses += 1
+            n += 1
+            by_level[level] += 1
+        if write:
+            c.data_writes += n
+        else:
+            c.data_reads += n
+
+    def metadata_access_many(
+        self, items: Sequence[MetaItem], write: bool, blocks: int = 1
+    ) -> None:
+        c = self._cur_counters
+        if c is None:
+            self.unattributed_accesses += len(items)
+            return
+        n = 0
+        for _bucket, _level, onchip in items:
+            if onchip:
+                c.onchip_accesses += blocks
+            else:
+                n += blocks
+        if write:
+            c.meta_writes += n
+        else:
+            c.meta_reads += n
+
     def end_op(self) -> None:
         if self._current is None:
             raise RuntimeError("end_op without begin_op")
         self._current = None
+        self._cur_counters = None
 
     # ------------------------------------------------------------- queries
 
@@ -209,6 +280,14 @@ class TeeSink(MemorySink):
     def metadata_access(self, bucket, level, write, onchip=False, blocks=1):
         for s in self.sinks:
             s.metadata_access(bucket, level, write, onchip=onchip, blocks=blocks)
+
+    def data_access_many(self, items, write):
+        for s in self.sinks:
+            s.data_access_many(items, write)
+
+    def metadata_access_many(self, items, write, blocks=1):
+        for s in self.sinks:
+            s.metadata_access_many(items, write, blocks=blocks)
 
     def end_op(self) -> None:
         for s in self.sinks:

@@ -1,0 +1,108 @@
+"""Diff two perf reports: the CI regression gate.
+
+``compare_reports`` matches cells by (scheme, trace) and checks the new
+report's throughput against the baseline:
+
+- exit code 0: every baseline cell is present and within the threshold
+  (improvements are fine and get reported);
+- exit code 1: at least one cell regressed by more than ``threshold``
+  percent in accesses/sec;
+- exit code 2: a report failed schema validation, or a baseline cell is
+  missing from the new report (the matrix silently shrank -- treated as
+  an error, not a pass).
+
+Cells present only in the *new* report are informational (the matrix
+grew). Deterministic ``sim`` metrics are diffed for the summary text
+but never gate: they legitimately change when simulator behaviour
+changes, and such changes must be reviewed, not blocked.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.perf.schema import cell_key, validate_report
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
+
+DEFAULT_THRESHOLD_PCT = 10.0
+
+
+def load_report(path: str) -> Tuple[Any, List[str]]:
+    """Parse and validate one report file; returns (doc, errors)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, [f"{path}: cannot load report: {exc}"]
+    errors = [f"{path}: {e}" for e in validate_report(doc)]
+    return doc, errors
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> Tuple[int, List[str]]:
+    """Compare two validated reports; returns (exit_code, messages)."""
+    messages: List[str] = []
+    base_cells = {cell_key(c): c for c in baseline["cells"]}
+    new_cells = {cell_key(c): c for c in new["cells"]}
+    exit_code = EXIT_OK
+    for key, base in base_cells.items():
+        if key not in new_cells:
+            messages.append(f"ERROR {key}: cell missing from new report")
+            exit_code = EXIT_ERROR
+            continue
+        cur = new_cells[key]
+        old_tp = float(base["accesses_per_s"])
+        new_tp = float(cur["accesses_per_s"])
+        if old_tp <= 0:
+            messages.append(f"ERROR {key}: baseline throughput {old_tp}")
+            exit_code = EXIT_ERROR
+            continue
+        delta_pct = (new_tp - old_tp) / old_tp * 100.0
+        drifted = _sim_drift(base.get("sim", {}), cur.get("sim", {}))
+        note = f" (sim metrics drifted: {', '.join(drifted)})" if drifted else ""
+        line = (
+            f"{key}: {old_tp:.1f} -> {new_tp:.1f} acc/s "
+            f"({delta_pct:+.1f}%){note}"
+        )
+        if delta_pct < -threshold_pct:
+            messages.append(
+                f"REGRESSION {line} exceeds -{threshold_pct:g}% threshold"
+            )
+            if exit_code == EXIT_OK:
+                exit_code = EXIT_REGRESSION
+        else:
+            messages.append(f"OK {line}")
+    for key in new_cells:
+        if key not in base_cells:
+            messages.append(f"NEW {key}: no baseline entry (matrix grew)")
+    return exit_code, messages
+
+
+def _sim_drift(base_sim: Dict[str, Any], new_sim: Dict[str, Any]) -> List[str]:
+    """Names of deterministic metrics that changed between reports."""
+    out = []
+    for k in sorted(set(base_sim) | set(new_sim)):
+        if base_sim.get(k) != new_sim.get(k):
+            out.append(k)
+    return out
+
+
+def compare_files(
+    baseline_path: str,
+    new_path: str,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> Tuple[int, List[str]]:
+    """File-level entry: load, validate, compare."""
+    base, base_errs = load_report(baseline_path)
+    new, new_errs = load_report(new_path)
+    errors = base_errs + new_errs
+    if errors:
+        return EXIT_ERROR, [f"ERROR {e}" for e in errors]
+    return compare_reports(base, new, threshold_pct)

@@ -1,0 +1,32 @@
+"""Human-readable rendering of perf reports."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis.report import render_mapping_table
+from repro.perf.schema import cell_key
+
+
+def render_report(doc: Dict[str, Any]) -> str:
+    """Text table of one report's cells."""
+    cfg = doc["config"]
+    rows = []
+    for cell in doc["cells"]:
+        sim = cell["sim"]
+        rows.append({
+            "cell": cell_key(cell),
+            "wall_s": cell["wall_s"],
+            "acc_per_s": cell["accesses_per_s"],
+            "ns_per_access": sim["ns_per_access"],
+            "stash_peak": sim["stash_peak"],
+            "reshuffles": sim["reshuffles_total"],
+            "row_hit": sim["row_hit_rate"],
+        })
+    flavor = "smoke" if cfg.get("smoke") else "full"
+    title = (
+        f"perf matrix ({flavor}): L={cfg['levels']} "
+        f"requests={cfg['n_requests']} warmup={cfg['warmup_requests']} "
+        f"seed={cfg['seed']}"
+    )
+    return render_mapping_table(rows, title=title)

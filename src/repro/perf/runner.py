@@ -1,0 +1,154 @@
+"""Run the perf matrix and build a report document.
+
+Every cell is one ``run_suite`` call over a single (scheme, benchmark)
+pair, timed with ``time.perf_counter``. The simulation itself is fully
+deterministic (pinned seeds for trace generation, warm fill and the
+protocol RNG), so the ``sim`` block of a cell only changes when the
+simulator's behaviour changes -- which is exactly what makes the report
+comparable across commits.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import schemes as schemes_mod
+from repro.perf.schema import REPORT_KIND, SCHEMA_VERSION
+from repro.sim.engine import SimConfig
+from repro.sim.results import SimResult
+from repro.sim.runner import run_suite
+
+
+@dataclass
+class PerfConfig:
+    """One perf-harness invocation (the report's ``config`` block)."""
+
+    schemes: Sequence[str] = ("ring", "baseline", "dr", "ab")
+    benchmarks: Sequence[str] = ("mcf", "xz", "x264")
+    suite: str = "spec"
+    levels: int = 12
+    n_requests: int = 2000
+    warmup_requests: int = 400
+    seed: int = 0
+    repeats: int = 1
+    smoke: bool = False
+    workers: int = 1
+    progress: Any = None  # callable(str) for live cell updates
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schemes": list(self.schemes),
+            "benchmarks": list(self.benchmarks),
+            "suite": self.suite,
+            "levels": self.levels,
+            "n_requests": self.n_requests,
+            "warmup_requests": self.warmup_requests,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "smoke": self.smoke,
+        }
+
+
+def full_config(**overrides: Any) -> PerfConfig:
+    """The default matrix. Its first cell (ring/mcf at L12, 2000
+    requests) is the tracked headline cell."""
+    return replace(PerfConfig(), **overrides)
+
+
+def smoke_config(**overrides: Any) -> PerfConfig:
+    """A seconds-scale matrix for CI: two schemes, one trace."""
+    base = PerfConfig(
+        schemes=("ring", "ab"),
+        benchmarks=("mcf",),
+        levels=10,
+        n_requests=500,
+        warmup_requests=100,
+        repeats=1,
+        smoke=True,
+    )
+    return replace(base, **overrides)
+
+
+def _environment() -> Dict[str, str]:
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "implementation": sys.implementation.name,
+    }
+
+
+def _sim_block(result: SimResult) -> Dict[str, Any]:
+    return {
+        "exec_ns": result.exec_ns,
+        "ns_per_access": result.ns_per_access,
+        "stash_peak": result.stash_peak,
+        "reshuffles_total": int(sum(result.reshuffles_by_level)),
+        "reshuffles_by_level": [int(x) for x in result.reshuffles_by_level],
+        "dram_reads": int(result.dram_reads),
+        "dram_writes": int(result.dram_writes),
+        "row_hit_rate": result.row_hit_rate,
+        "online_accesses": int(result.online_accesses),
+        "background_accesses": int(result.background_accesses),
+        "evictions": int(result.evictions),
+        "dead_blocks": int(result.dead_blocks),
+        "remote_accesses": int(result.remote_accesses),
+    }
+
+
+def _run_one_cell(
+    cfg: PerfConfig, scheme_name: str, bench: str
+) -> Tuple[float, SimResult]:
+    """Best-of-``repeats`` wall time plus the (deterministic) result."""
+    scheme = schemes_mod.by_name(scheme_name, cfg.levels)
+    best = None
+    result: Optional[SimResult] = None
+    for _ in range(max(1, cfg.repeats)):
+        t0 = time.perf_counter()
+        out = run_suite(
+            [scheme],
+            suite=cfg.suite,
+            benchmarks=[bench],
+            n_requests=cfg.n_requests,
+            warmup_requests=cfg.warmup_requests,
+            seed=cfg.seed,
+            sim=SimConfig(seed=cfg.seed, warmup_requests=cfg.warmup_requests),
+            workers=cfg.workers,
+        )
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+        result = out[scheme.name][bench]
+    assert best is not None and result is not None
+    return best, result
+
+
+def run_perf(cfg: Optional[PerfConfig] = None) -> Dict[str, Any]:
+    """Run the matrix of ``cfg`` and return the report document."""
+    cfg = cfg or full_config()
+    cells: List[Dict[str, Any]] = []
+    for scheme_name in cfg.schemes:
+        for bench in cfg.benchmarks:
+            if cfg.progress is not None:
+                cfg.progress(f"running {scheme_name}/{bench} ...")
+            wall, result = _run_one_cell(cfg, scheme_name, bench)
+            cells.append({
+                "scheme": scheme_name,
+                "trace": bench,
+                "wall_s": wall,
+                "accesses_per_s": cfg.n_requests / wall if wall > 0 else 0.0,
+                "sim": _sim_block(result),
+            })
+    return {
+        "kind": REPORT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "config": cfg.to_dict(),
+        "environment": _environment(),
+        "cells": cells,
+    }

@@ -1,0 +1,148 @@
+"""The ``BENCH_perf.json`` report format.
+
+The report must stay machine-checkable without third-party schema
+libraries (CI and the test suite validate it with the stock
+interpreter), so the schema is expressed as plain validation code.
+
+Top-level document::
+
+    {
+      "kind": "repro-perf-report",
+      "schema_version": 1,
+      "config":      { matrix definition, seeds, sizes, "smoke": bool },
+      "environment": { "python": ..., "numpy": ..., "platform": ... },
+      "cells":       [ { cell }, ... ]
+    }
+
+One cell per (scheme, trace) pair::
+
+    {
+      "scheme": "ring", "trace": "mcf",
+      "wall_s": 0.63,            # host-dependent
+      "accesses_per_s": 3171.9,  # host-dependent (requests / wall_s)
+      "sim": {                   # bit-deterministic for a code version
+        "exec_ns": ..., "ns_per_access": ..., "stash_peak": ...,
+        "reshuffles_total": ..., "reshuffles_by_level": [...],
+        "dram_reads": ..., "dram_writes": ..., "row_hit_rate": ...,
+        "online_accesses": ..., "background_accesses": ...,
+        "evictions": ..., "dead_blocks": ..., "remote_accesses": ...
+      }
+    }
+
+``wall_s``/``accesses_per_s`` are what :mod:`repro.perf.compare` gates
+on; the ``sim`` block lets tests assert run-to-run determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+SCHEMA_VERSION = 1
+REPORT_KIND = "repro-perf-report"
+
+_CONFIG_FIELDS = {
+    "schemes": list,
+    "benchmarks": list,
+    "suite": str,
+    "levels": int,
+    "n_requests": int,
+    "warmup_requests": int,
+    "seed": int,
+    "repeats": int,
+    "smoke": bool,
+}
+
+_CELL_FIELDS = {
+    "scheme": str,
+    "trace": str,
+    "wall_s": (int, float),
+    "accesses_per_s": (int, float),
+    "sim": dict,
+}
+
+_SIM_FIELDS = {
+    "exec_ns": (int, float),
+    "ns_per_access": (int, float),
+    "stash_peak": int,
+    "reshuffles_total": int,
+    "reshuffles_by_level": list,
+    "dram_reads": int,
+    "dram_writes": int,
+    "row_hit_rate": (int, float),
+    "online_accesses": int,
+    "background_accesses": int,
+    "evictions": int,
+    "dead_blocks": int,
+    "remote_accesses": int,
+}
+
+
+def _check_fields(
+    obj: Dict[str, Any], fields: Dict[str, Any], where: str, errors: List[str]
+) -> None:
+    for name, typ in fields.items():
+        if name not in obj:
+            errors.append(f"{where}: missing field {name!r}")
+            continue
+        val = obj[name]
+        if typ is bool:
+            ok = isinstance(val, bool)
+        elif isinstance(val, bool):
+            # bool subclasses int; reject it where a number is expected.
+            ok = False
+        else:
+            ok = isinstance(val, typ)
+        if not ok:
+            errors.append(
+                f"{where}: field {name!r} has type "
+                f"{type(val).__name__}, expected {typ}"
+            )
+
+
+def validate_report(doc: Any) -> List[str]:
+    """Validate a parsed report; returns a list of problems (empty = ok)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"report root is {type(doc).__name__}, expected object"]
+    if doc.get("kind") != REPORT_KIND:
+        errors.append(f"kind is {doc.get('kind')!r}, expected {REPORT_KIND!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("config: missing or not an object")
+    else:
+        _check_fields(config, _CONFIG_FIELDS, "config", errors)
+    env = doc.get("environment")
+    if not isinstance(env, dict):
+        errors.append("environment: missing or not an object")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append("cells: missing, not a list, or empty")
+        return errors
+    seen = set()
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        _check_fields(cell, _CELL_FIELDS, where, errors)
+        sim = cell.get("sim")
+        if isinstance(sim, dict):
+            _check_fields(sim, _SIM_FIELDS, f"{where}.sim", errors)
+        key = (cell.get("scheme"), cell.get("trace"))
+        if key in seen:
+            errors.append(f"{where}: duplicate cell {key}")
+        seen.add(key)
+        wall = cell.get("wall_s")
+        if isinstance(wall, (int, float)) and wall <= 0:
+            errors.append(f"{where}: wall_s must be positive, got {wall}")
+    return errors
+
+
+def cell_key(cell: Dict[str, Any]) -> str:
+    """Stable identity of one matrix cell."""
+    return f"{cell['scheme']}/{cell['trace']}"

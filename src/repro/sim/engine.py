@@ -44,6 +44,14 @@ class DramSink(MemorySink):
     def __init__(self, layout: TreeLayout, dram: DramModel) -> None:
         self.layout = layout
         self.dram = dram
+        # Address computation inlined from TreeLayout.data_addr /
+        # meta_addr: plain-int arithmetic over a materialized offset
+        # list, since this runs for every simulated memory request.
+        self._data_base = layout.base_addr
+        self._data_off = layout._offsets.tolist()
+        self._block_bytes = layout.cfg.block_bytes
+        self._meta_base = layout.meta_base
+        self._meta_stride = layout.meta_stride
         self.now = 0.0
         self.time_by_kind: Dict[OpKind, float] = {k: 0.0 for k in OpKind}
         self.ops_by_kind: Dict[OpKind, int] = {k: 0 for k in OpKind}
@@ -105,7 +113,7 @@ class DramSink(MemorySink):
             return
         if remote:
             self.remote_accesses += 1
-        addr = self.layout.data_addr(bucket, slot)
+        addr = self._data_base + self._data_off[bucket] + slot * self._block_bytes
         arrival = self._arrival(2 if write else 1)
         done = self.dram.access(addr, write, arrival)
         if done > self._op_end:
@@ -115,11 +123,58 @@ class DramSink(MemorySink):
         if onchip:
             return
         arrival = self._arrival(3 if write else 0)
-        for i in range(blocks):
-            addr = self.layout.meta_addr(bucket, i)
-            done = self.dram.access(addr, write, arrival)
-            if done > self._op_end:
-                self._op_end = done
+        access = self.dram.access
+        addr = self._meta_base + bucket * self._meta_stride
+        end = self._op_end
+        for _ in range(blocks):
+            done = access(addr, write, arrival)
+            if done > end:
+                end = done
+            addr += self._block_bytes
+        self._op_end = end
+
+    def data_access_many(self, items, write):
+        # The phase transition must happen at the first *off-chip* item,
+        # exactly as in the scalar path: an all-onchip batch leaves the
+        # phase untouched, so later lower-phase requests still extend
+        # ``_op_end`` before the transition samples it.
+        arrival = None
+        access = self.dram.access
+        base = self._data_base
+        off = self._data_off
+        bb = self._block_bytes
+        end = self._op_end
+        for bucket, slot, level, onchip, remote in items:
+            if onchip:
+                continue
+            if arrival is None:
+                arrival = self._arrival(2 if write else 1)
+                end = self._op_end
+            if remote:
+                self.remote_accesses += 1
+            done = access(base + off[bucket] + slot * bb, write, arrival)
+            if done > end:
+                end = done
+        self._op_end = end
+
+    def metadata_access_many(self, items, write, blocks=1):
+        arrival = None
+        access = self.dram.access
+        bb = self._block_bytes
+        end = self._op_end
+        for bucket, level, onchip in items:
+            if onchip:
+                continue
+            if arrival is None:
+                arrival = self._arrival(3 if write else 0)
+                end = self._op_end
+            addr = self._meta_base + bucket * self._meta_stride
+            for _ in range(blocks):
+                done = access(addr, write, arrival)
+                if done > end:
+                    end = done
+                addr += bb
+        self._op_end = end
 
     def end_op(self) -> None:
         if self._op_kind is None:

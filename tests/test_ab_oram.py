@@ -2,8 +2,6 @@
 
 import pytest
 
-from conftest import tiny_ab_config, tiny_config
-
 from repro.core.ab_oram import AbOram, build_oram, needs_extensions
 from repro.core.remote import RemoteAllocator
 from repro.oram.ring import RingOram

@@ -169,7 +169,7 @@ class TestReport:
         out = render_table(["a", "bb"], [[1, 2], [33, 4]], title="T")
         lines = out.splitlines()
         assert lines[0] == "T"
-        assert len({len(l) for l in lines[1:]}) == 1
+        assert len({len(line) for line in lines[1:]}) == 1
 
     def test_render_table_row_mismatch(self):
         with pytest.raises(ValueError):

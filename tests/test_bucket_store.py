@@ -1,6 +1,5 @@
 """Unit tests for the bucket store (repro.oram.bucket)."""
 
-import numpy as np
 import pytest
 
 from repro.oram.bucket import CONSUMED, DUMMY, UNALLOCATED, BucketStore, SlotStatus

@@ -67,7 +67,7 @@ class TestOramConfigSizes:
 
     def test_buckets_at(self):
         cfg = OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3))
-        assert [cfg.buckets_at(l) for l in range(4)] == [1, 2, 4, 8]
+        assert [cfg.buckets_at(lv) for lv in range(4)] == [1, 2, 4, 8]
 
     def test_total_slots_uniform(self):
         cfg = OramConfig(levels=4, geometry=uniform_geometry(4, 5, 3))
@@ -100,13 +100,13 @@ class TestOramConfigSizes:
 
     def test_level_capacity_fractions_sum_to_one(self):
         cfg = OramConfig(levels=6, geometry=uniform_geometry(6, 5, 3))
-        total = sum(cfg.level_capacity_fraction(l) for l in range(6))
+        total = sum(cfg.level_capacity_fraction(lv) for lv in range(6))
         assert total == pytest.approx(1.0)
 
     def test_bottom_levels_dominate(self):
         """The last 3 of 24 levels hold 87.5% of capacity (paper IV-B)."""
         cfg = OramConfig(levels=24, geometry=uniform_geometry(24, 5, 3))
-        frac = sum(cfg.level_capacity_fraction(l) for l in (21, 22, 23))
+        frac = sum(cfg.level_capacity_fraction(lv) for lv in (21, 22, 23))
         assert frac == pytest.approx(0.875, abs=0.001)
 
 

@@ -6,7 +6,6 @@ import pytest
 
 from conftest import tiny_ab_config, tiny_config
 
-from repro.core.ab_oram import build_oram
 from repro.core.remote import RemoteAllocator
 from repro.crypto.auth import AuthenticationError
 from repro.crypto.integrity import IntegrityError

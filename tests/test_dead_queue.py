@@ -2,8 +2,6 @@
 
 import pytest
 
-from conftest import tiny_ab_config
-
 from repro.core.dead_queue import DeadQueue, DeadQueueSet
 from repro.oram.bucket import BucketStore, SlotStatus
 

@@ -6,7 +6,6 @@ model; every divergence -- value corruption, ghost keys, leaked or
 double-freed blocks -- fails the run with a minimized counterexample.
 """
 
-import pytest
 from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

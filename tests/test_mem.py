@@ -88,7 +88,7 @@ class TestDramModel:
         dram = DramModel()
         m = dram.mapping
         # Two lines in the same bank but different rows -> conflict.
-        far = m.n_channels * m.row_bytes * 0  # same row actually
+        m.n_channels * m.row_bytes * 0  # same row actually
         a = 0
         b = m.n_channels * m.row_bytes * m.n_banks  # same bank, next row
         t1 = dram.access(a, False, 0.0)
@@ -113,7 +113,7 @@ class TestDramModel:
         """Row misses on one channel cannot activate faster than tRRD."""
         dram = DramModel()
         m = dram.mapping
-        stride = m.n_channels * m.row_bytes * m.n_banks  # new row, same-ish
+        m.n_channels * m.row_bytes * m.n_banks  # new row, same-ish
         # Hit different banks to avoid bank serialization; all misses.
         addrs = [m.row_bytes * m.n_channels * b for b in range(8)]
         for a in addrs:

@@ -1,9 +1,7 @@
 """Tests for the controller observer protocol (repro.oram.observer)."""
 
 import numpy as np
-import pytest
 
-from conftest import tiny_ab_config, tiny_config
 
 from repro.core.ab_oram import build_oram
 from repro.oram.observer import BaseObserver

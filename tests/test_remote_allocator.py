@@ -2,10 +2,9 @@
 
 import pytest
 
-from conftest import tiny_ab_config
 
 from repro.core.remote import RemoteAllocator
-from repro.oram.bucket import CONSUMED, DUMMY, BucketStore, SlotStatus
+from repro.oram.bucket import CONSUMED, DUMMY, SlotStatus
 from repro.oram.ring import RingOram
 
 

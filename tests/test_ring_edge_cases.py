@@ -1,6 +1,5 @@
 """Edge-case tests for the Ring controller and the timing engine."""
 
-import dataclasses
 
 import numpy as np
 import pytest

@@ -6,7 +6,7 @@ import pytest
 from conftest import tiny_ab_config, tiny_config
 
 from repro.core.remote import RemoteAllocator
-from repro.oram.ring import ProtocolError, RingOram
+from repro.oram.ring import RingOram
 from repro.oram.stats import CountingSink, OpKind
 
 

@@ -7,7 +7,7 @@ from repro.mem.dram import DramModel
 from repro.mem.layout import TreeLayout
 from repro.oram.stats import OpKind
 from repro.sim.engine import DramSink, SimConfig, simulate
-from repro.sim.results import SimResult, breakdown_fractions, geomean, normalize
+from repro.sim.results import breakdown_fractions, geomean, normalize
 from repro.sim.runner import make_trace, run_schemes, run_suite, suite_benchmarks
 from repro.traces.spec import spec_trace
 
@@ -186,7 +186,6 @@ class TestRunner:
         assert set(results["Baseline"]) == {"gcc", "mcf"}
 
     def test_run_suite_rejects_mismatched_blocks(self, small_schemes):
-        import dataclasses
         other = schemes.baseline_cb(9)
         with pytest.raises(ValueError):
             run_suite([small_schemes[0], other], benchmarks=["gcc"],

@@ -51,8 +51,8 @@ class TestLevelOf:
 class TestParentChild:
     def test_parent_of_children(self):
         for b in range(1, 127):
-            l, r = tree.children_of(tree.parent_of(b))
-            assert b in (l, r)
+            left, right = tree.children_of(tree.parent_of(b))
+            assert b in (left, right)
 
     def test_children_of_root(self):
         assert tree.children_of(0) == (1, 2)

@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Dependency-free fallback linter for `make lint`.
+
+CI runs ruff (``ruff check`` with the E4/E7/E9/F/W rule families --
+see ``[tool.ruff]`` in pyproject.toml); this script approximates the
+same checks with only the standard library so a bare environment can
+still gate commits:
+
+- E9:   syntax errors (the file must compile);
+- F401: imported name never used (module scope; ``__init__.py`` and
+        ``__all__`` re-exports are honoured);
+- F821-lite: obviously undefined names is left to the test suite;
+- F841: local variable assigned once and never read (plain
+        assignments of non-underscore names only);
+- E711/E712: comparisons to None/True/False with ``==``/``!=``;
+- E722: bare ``except:``;
+- E741: ambiguous single-letter bindings ``l``, ``O``, ``I``;
+- W191/W291/W293: tab indentation and trailing whitespace;
+- W292: missing final newline.
+
+Usage: ``python tools/lint.py PATH [PATH ...]`` -- exits non-zero when
+any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Set
+
+AMBIGUOUS = {"l", "O", "I"}
+
+
+def iter_py_files(paths: List[str]) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file() and p.suffix == ".py":
+            yield p
+        elif p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+
+
+def _loaded_names(tree: ast.AST) -> Set[str]:
+    """Every identifier read anywhere in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # "a.b.c" reads "a"; the Name node below covers it, but
+            # string annotations don't parse to Name nodes -- handled
+            # via the literal scan below.
+            pass
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Covers __all__ entries and string annotations.
+            names.add(node.value)
+            for part in node.value.replace("[", " ").replace("]", " ").split():
+                names.add(part.split(".")[0].strip("'\""))
+    return names
+
+
+def check_unused_imports(
+    path: Path, tree: ast.AST, findings: List[str]
+) -> None:
+    if path.name == "__init__.py":
+        return  # re-export modules: imports are the API
+    used = _loaded_names(tree)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound not in used:
+                    findings.append(
+                        f"{path}:{node.lineno}: F401 `{alias.name}` "
+                        f"imported but unused"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                if bound not in used:
+                    findings.append(
+                        f"{path}:{node.lineno}: F401 `{alias.name}` "
+                        f"imported but unused"
+                    )
+
+
+def check_unused_locals(path: Path, tree: ast.AST, findings: List[str]) -> None:
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        loaded: Set[str] = set()
+        stored: dict = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                loaded.add(node.id)
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                loaded.update(node.names)
+            elif isinstance(node, ast.Assign):
+                # Match pyflakes/ruff: only plain single-name targets
+                # count (tuple unpacking and loop/with bindings don't).
+                if len(node.targets) == 1 and isinstance(
+                    node.targets[0], ast.Name
+                ):
+                    stored.setdefault(node.targets[0].id, node.lineno)
+        for name, lineno in stored.items():
+            if name.startswith("_"):
+                continue
+            if name not in loaded:
+                findings.append(
+                    f"{path}:{lineno}: F841 local variable `{name}` "
+                    f"assigned but never used"
+                )
+
+
+def check_ast_style(path: Path, tree: ast.AST, findings: List[str]) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(f"{path}:{node.lineno}: E722 bare `except:`")
+        elif isinstance(node, ast.Compare):
+            for op, right in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if isinstance(right, ast.Constant) and (
+                    right.value is None
+                    or right.value is True
+                    or right.value is False
+                ):
+                    code = "E711" if right.value is None else "E712"
+                    findings.append(
+                        f"{path}:{node.lineno}: {code} comparison to "
+                        f"{right.value!r} with ==/!="
+                    )
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in AMBIGUOUS:
+                findings.append(
+                    f"{path}:{node.lineno}: E741 ambiguous variable "
+                    f"name `{node.id}`"
+                )
+        elif isinstance(node, ast.arg) and node.arg in AMBIGUOUS:
+            findings.append(
+                f"{path}:{node.lineno}: E741 ambiguous argument "
+                f"name `{node.arg}`"
+            )
+
+
+def check_whitespace(path: Path, text: str, findings: List[str]) -> None:
+    lines = text.split("\n")
+    for i, line in enumerate(lines, 1):
+        stripped = line.rstrip("\n")
+        if stripped != stripped.rstrip():
+            code = "W293" if not stripped.strip() else "W291"
+            findings.append(f"{path}:{i}: {code} trailing whitespace")
+        indent = stripped[: len(stripped) - len(stripped.lstrip())]
+        if "\t" in indent:
+            findings.append(f"{path}:{i}: W191 tab in indentation")
+    if text and not text.endswith("\n"):
+        findings.append(f"{path}:{len(lines)}: W292 no newline at end of file")
+
+
+def lint_file(path: Path) -> List[str]:
+    findings: List[str] = []
+    text = path.read_text()
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: E999 syntax error: {exc.msg}"]
+    check_unused_imports(path, tree, findings)
+    check_unused_locals(path, tree, findings)
+    check_ast_style(path, tree, findings)
+    check_whitespace(path, text, findings)
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or ["src", "tests", "benchmarks", "examples", "tools"]
+    findings: List[str] = []
+    n_files = 0
+    for path in iter_py_files(paths):
+        n_files += 1
+        findings.extend(lint_file(path))
+    for f in findings:
+        print(f)
+    print(f"lint: {n_files} files checked, {len(findings)} findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
