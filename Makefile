@@ -7,7 +7,8 @@ PYTHON ?= python
 # src/ layout, so the package root just needs to be importable.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test bench bench-full figures examples lint perf-smoke ci clean
+.PHONY: install test bench bench-full figures examples lint perf-smoke \
+	faults-smoke ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -55,12 +56,19 @@ perf-smoke:
 	  benchmarks/baselines/BENCH_perf_smoke.json BENCH_perf_new.json \
 	  --warn-only
 
-# Mirror of the CI pipeline: lint, tier-1 tests, perf smoke + compare.
-ci: lint test perf-smoke
+# CI robustness smoke: fault-injection campaign; fails unless every
+# tampering fault (bit flip, replay) was detected. Fully deterministic.
+faults-smoke:
+	$(PYTHON) -m repro faults run --smoke --out BENCH_faults.json \
+	  --require-detection
+
+# Mirror of the CI pipeline: lint, tier-1 tests, perf + faults smoke.
+ci: lint test perf-smoke faults-smoke
 
 # Removes only regenerated artifacts. Committed reference outputs
 # (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.
 clean:
 	rm -rf benchmarks/generated .pytest_cache .ruff_cache
-	rm -f BENCH_perf_new.json test_output.txt bench_output.txt
+	rm -f BENCH_perf_new.json BENCH_faults.json test_output.txt \
+	  bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -5,13 +5,20 @@ Commands:
 - ``schemes``  -- list the paper's schemes and their geometries;
 - ``space``    -- closed-form space/utilization tables (exact at any L);
 - ``simulate`` -- run one (scheme, benchmark) timing simulation;
+  ``--integrity`` seals the data path and verifies it on every read,
+  ``--checkpoint-every N --checkpoint PATH`` persists the run and
+  ``--resume PATH`` continues it bit-identically;
 - ``sweep``    -- scheme x benchmark matrix with normalized exec times;
 - ``security`` -- the section VI-C guessing-attacker experiment;
 - ``doctor``   -- validate configurations against the soundness rules;
 - ``figures``  -- regenerate the paper's analytic (space-side) figures;
 - ``perf``     -- the performance harness: ``perf run [--smoke]``
   emits a machine-readable BENCH_perf.json, ``perf compare`` diffs two
-  reports and fails on throughput regressions (the CI gate).
+  reports and fails on throughput regressions (the CI gate);
+- ``faults``   -- the robustness harness: ``faults run [--smoke]``
+  sweeps fault kind x rate against the integrity-verified data path
+  and emits BENCH_faults.json; ``--require-detection`` fails unless
+  every tampering fault was caught (the CI gate).
 
 Every command prints the same text tables the benchmarks emit, so the
 CLI doubles as a quick reproduction console.
@@ -30,7 +37,8 @@ from repro.analysis.space import space_table, utilization_table
 from repro.core import schemes as schemes_mod
 from repro.core.ab_oram import build_oram
 from repro.core.security import GuessingAttacker
-from repro.sim import SimConfig, simulate
+from repro.faults.plan import FAULT_KINDS
+from repro.sim import SimConfig
 from repro.sim.results import breakdown_fractions
 from repro.sim.runner import run_suite, suite_benchmarks
 from repro.traces.parsec import parsec_trace
@@ -74,14 +82,46 @@ def _make_trace(suite: str, bench: str, n_blocks: int, requests: int,
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    cfg = schemes_mod.by_name(args.scheme, args.levels)
-    trace = _make_trace(args.suite, args.bench, cfg.n_real_blocks,
-                        args.requests, args.seed)
-    result = simulate(cfg, trace, SimConfig(
-        seed=args.seed,
-        warmup_requests=args.warmup,
-        check_invariants=args.check,
-    ))
+    from repro.sim.engine import Simulation
+
+    ckpt_path = args.checkpoint or args.resume
+    if args.checkpoint_every and not ckpt_path:
+        print("error: --checkpoint-every requires --checkpoint PATH "
+              "(or --resume)", file=sys.stderr)
+        return 2
+    if args.resume:
+        from repro.sim.checkpoint import load_checkpoint
+        try:
+            simulation = load_checkpoint(args.resume)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"resumed {args.resume} at request {simulation.position}"
+              f"/{len(simulation.trace)}", file=sys.stderr)
+    else:
+        from repro.oram.recovery import RobustnessConfig
+        from repro.oram.validate import diagnose_robustness
+        robustness = (
+            RobustnessConfig(integrity=True) if args.integrity else None
+        )
+        for finding in diagnose_robustness(
+            robustness, n_requests=args.requests,
+            checkpoint_every=args.checkpoint_every,
+        ):
+            print(finding, file=sys.stderr)
+        cfg = schemes_mod.by_name(args.scheme, args.levels)
+        trace = _make_trace(args.suite, args.bench, cfg.n_real_blocks,
+                            args.requests, args.seed)
+        simulation = Simulation(cfg, trace, SimConfig(
+            seed=args.seed,
+            warmup_requests=args.warmup,
+            check_invariants=args.check,
+            robustness=robustness,
+        ))
+    result = simulation.run(
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=ckpt_path,
+    )
     fr = breakdown_fractions(result)
     print(render_mapping_table(
         [{
@@ -103,6 +143,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         [{"op": k, "time_fraction": v} for k, v in fr.items()],
         title="Memory-time breakdown",
     ))
+    if result.robustness is not None:
+        rb = result.robustness
+        counters = {k: v for k, v in rb["counters"].items() if v}
+        rows = [{"event": k, "count": v} for k, v in counters.items()]
+        print()
+        print(render_mapping_table(
+            rows or [{"event": "(none)", "count": 0}],
+            title="Robustness events",
+        ))
     return 0
 
 
@@ -227,6 +276,72 @@ def cmd_perf_compare(args: argparse.Namespace) -> int:
     return code
 
 
+#: Campaign cells whose faults tamper with sealed state; with the
+#: integrity tree on, CI requires every one of them to be detected.
+_TAMPER_KINDS = ("bit_flip", "replay")
+
+
+def cmd_faults_run(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import full_config, run_campaign, smoke_config
+    from repro.faults.report import render_report
+    from repro.faults.schema import validate_report
+    import json
+
+    factory = smoke_config if args.smoke else full_config
+    overrides = {}
+    if args.kinds:
+        overrides["kinds"] = tuple(args.kinds)
+    if args.rates:
+        overrides["rates"] = tuple(args.rates)
+    if args.levels is not None:
+        overrides["levels"] = args.levels
+    if args.requests is not None:
+        overrides["n_requests"] = args.requests
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.retry_budget is not None:
+        overrides["retry_budget"] = args.retry_budget
+    if args.no_quarantine:
+        overrides["quarantine"] = False
+    if args.no_integrity:
+        overrides["integrity"] = False
+    try:
+        cfg = factory(progress=lambda msg: print(msg, file=sys.stderr),
+                      **overrides)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    doc = run_campaign(cfg)
+    errors = validate_report(doc)
+    if errors:
+        for e in errors:
+            print(f"error: report self-check failed: {e}", file=sys.stderr)
+        return 2
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(render_report(doc))
+    print(f"\nwrote {args.out}")
+    if args.require_detection:
+        bad = []
+        for cell in doc["cells"]:
+            if cell["fault"] not in _TAMPER_KINDS:
+                continue
+            if cell["undetected"] or cell["detected"] != cell["injected"]:
+                bad.append(
+                    f"{cell['fault']}@{cell['rate']:g}: "
+                    f"injected={cell['injected']} "
+                    f"detected={cell['detected']} "
+                    f"undetected={cell['undetected']}"
+                )
+        if bad:
+            for line in bad:
+                print(f"DETECTION GAP {line}")
+            return 1
+        print("detection check: all tampering faults detected")
+    return 0
+
+
 def cmd_security(args: argparse.Namespace) -> int:
     rows = []
     for name in args.schemes:
@@ -284,6 +399,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--check", action="store_true",
                    help="verify protocol invariants after the run")
+    p.add_argument("--integrity", action="store_true",
+                   help="seal the data path and verify bucket MACs plus "
+                        "the Merkle root on every read path")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="checkpoint file for --checkpoint-every")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="pickle the full simulation every N requests")
+    p.add_argument("--resume", default=None, metavar="PATH",
+                   help="resume from a checkpoint (continues "
+                        "bit-identically; scheme/trace flags are ignored)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("sweep", help="scheme x benchmark matrix")
@@ -339,6 +464,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="report regressions but exit 0 (CI soft gate)")
     pc.set_defaults(func=cmd_perf_compare)
 
+    p = sub.add_parser("faults", help="fault-injection campaign harness")
+    faults_sub = p.add_subparsers(dest="faults_command", required=True)
+
+    fr = faults_sub.add_parser("run", help="sweep fault kind x rate")
+    fr.add_argument("--smoke", action="store_true",
+                    help="seconds-scale campaign for CI")
+    fr.add_argument("--out", default="BENCH_faults.json",
+                    help="report path (default: BENCH_faults.json)")
+    fr.add_argument("--kinds", nargs="+", default=None,
+                    choices=list(FAULT_KINDS))
+    fr.add_argument("--rates", nargs="+", type=float, default=None,
+                    help="per-operation fault probabilities to sweep")
+    fr.add_argument("--levels", type=int, default=None)
+    fr.add_argument("--requests", type=int, default=None)
+    fr.add_argument("--seed", type=int, default=None)
+    fr.add_argument("--retry-budget", type=int, default=None,
+                    help="transient-fault retries before quarantine")
+    fr.add_argument("--no-quarantine", action="store_true",
+                    help="disable quarantine-and-rebuild (detect only)")
+    fr.add_argument("--no-integrity", action="store_true",
+                    help="drop the Merkle tree (replays go undetected; "
+                        "for demonstrating why integrity matters)")
+    fr.add_argument("--require-detection", action="store_true",
+                    help="exit 1 unless every tampering fault (bit flip, "
+                        "replay) was detected -- the CI gate")
+    fr.set_defaults(func=cmd_faults_run)
+
     p = sub.add_parser("security", help="guessing-attacker experiment")
     p.add_argument("--schemes", nargs="+", default=["baseline", "ab"],
                    choices=ALL_SCHEMES)
@@ -354,8 +506,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    # ``python -m repro perf --smoke`` is sugar for ``perf run --smoke``.
-    if argv and argv[0] == "perf" and (
+    # ``python -m repro perf --smoke`` is sugar for ``perf run --smoke``
+    # (and likewise for ``faults``).
+    if argv and argv[0] in ("perf", "faults") and (
         len(argv) == 1 or argv[1].startswith("-")
     ):
         argv.insert(1, "run")

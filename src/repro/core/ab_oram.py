@@ -41,6 +41,7 @@ def build_oram(
     store_data: bool = False,
     datastore: Optional[Any] = None,
     posmap_mode: str = "onchip",
+    robustness: Optional[Any] = None,
 ) -> RingOram:
     """Construct a RingOram with AB extensions iff the config needs them."""
     ext = RemoteAllocator(cfg) if needs_extensions(cfg) else None
@@ -53,6 +54,7 @@ def build_oram(
         store_data=store_data,
         datastore=datastore,
         posmap_mode=posmap_mode,
+        robustness=robustness,
     )
 
 

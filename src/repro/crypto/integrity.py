@@ -19,7 +19,7 @@ is exactly the set of buckets an ORAM operation touches anyway.
 from __future__ import annotations
 
 import hashlib
-from typing import List
+from typing import List, Optional
 
 from repro.oram import tree as tree_mod
 
@@ -27,7 +27,17 @@ _EMPTY = bytes(32)
 
 
 class IntegrityError(Exception):
-    """A bucket digest or the root failed verification (replay?)."""
+    """A bucket digest or the root failed verification (replay?).
+
+    ``bucket`` localizes the failure when possible: the bucket whose
+    digest or content mismatched, or ``None`` when only the root
+    comparison failed (the stale bucket cannot be identified -- the
+    signature of a consistent-rehash replay).
+    """
+
+    def __init__(self, message: str, bucket: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.bucket = bucket
 
 
 class BucketMerkleTree:
@@ -89,19 +99,32 @@ class BucketMerkleTree:
         self.verifications += 1
         for b in path:
             if self._digest[b] != self._combine(b):
-                raise IntegrityError(f"digest mismatch at bucket {b}")
+                raise IntegrityError(f"digest mismatch at bucket {b}", bucket=b)
         if self._digest[0] != self._root_onchip:
             raise IntegrityError("root digest does not match on-chip copy")
 
-    def verify_bucket(self, bucket: int) -> None:
-        """Check one bucket's digest (and its ancestors) to the root."""
+    def verify_bucket(
+        self, bucket: int, content_digest: Optional[bytes] = None
+    ) -> None:
+        """Check one bucket's digest (and its ancestors) to the root.
+
+        When ``content_digest`` is given, it is the verifier's own
+        recomputation of the bucket's content (from the untrusted tags
+        and versions it just fetched); a mismatch against the stored
+        content digest catches dropped writes the hash chain alone
+        would miss.
+        """
         if not 0 <= bucket < self.n_buckets:
             raise ValueError(f"bucket {bucket} out of range")
         self.verifications += 1
+        if content_digest is not None and content_digest != self._content[bucket]:
+            raise IntegrityError(
+                f"content digest mismatch at bucket {bucket}", bucket=bucket
+            )
         b = bucket
         while True:
             if self._digest[b] != self._combine(b):
-                raise IntegrityError(f"digest mismatch at bucket {b}")
+                raise IntegrityError(f"digest mismatch at bucket {b}", bucket=b)
             if b == 0:
                 break
             b = tree_mod.parent_of(b)

@@ -1,0 +1,44 @@
+"""Human-readable rendering of fault-campaign reports."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis.report import render_mapping_table
+from repro.faults.schema import cell_key
+
+
+def render_report(doc: Dict[str, Any]) -> str:
+    """Text table of one campaign's cells, baseline header included."""
+    cfg = doc["config"]
+    base = doc["baseline"]
+    rows = []
+    for cell in doc["cells"]:
+        rows.append({
+            "cell": cell_key(cell),
+            "inj": cell["injected"],
+            "det": cell["detected"],
+            "undet": cell["undetected"],
+            "masked": cell["masked"],
+            "latent": cell["latent"],
+            "det_rate": cell["detection_rate"],
+            "recov": cell["recovered"],
+            "unrec": cell["unrecovered"],
+            "rebuilds": cell["rebuilds"],
+            "retries": cell["retries"],
+            "overhead_x": cell["overhead_x"],
+            "stash_peak": cell["stash_peak"],
+        })
+    flavor = "smoke" if cfg.get("smoke") else "full"
+    title = (
+        f"fault campaign ({flavor}): {cfg['scheme']}/{cfg['bench']} "
+        f"L={cfg['levels']} requests={cfg['n_requests']} "
+        f"seed={cfg['seed']} integrity={'on' if cfg['integrity'] else 'off'} "
+        f"| baseline exec_ns={base['exec_ns']:.0f}"
+    )
+    table = render_mapping_table(rows, title=title)
+    lines = [table]
+    if doc.get("doctor"):
+        lines.append("doctor findings:")
+        lines.extend(f"  {finding}" for finding in doc["doctor"])
+    return "\n".join(lines)

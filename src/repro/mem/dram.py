@@ -37,6 +37,10 @@ class DramStats:
     row_misses: int = 0
     refreshes: int = 0
     total_service_ns: float = 0.0
+    #: Controller-imposed waiting (recovery retry backoff) charged to
+    #: this memory system -- time the bus spent idle by decree, kept
+    #: separate from service time so fault campaigns can attribute it.
+    stalled_ns: float = 0.0
 
     @property
     def accesses(self) -> int:

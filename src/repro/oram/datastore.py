@@ -23,16 +23,32 @@ and the next ``open_slot`` of an affected block raises.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.crypto.engine import SecureBlockEngine
-from repro.crypto.integrity import BucketMerkleTree
+from repro.crypto.integrity import BucketMerkleTree, IntegrityError
 from repro.mem.layout import TreeLayout
+from repro.oram import tree as tree_mod
 from repro.oram.config import OramConfig
 
 import hashlib
+
+
+@dataclass(frozen=True)
+class SlotSnapshot:
+    """One slot's off-chip state at a point in time.
+
+    Everything an off-chip adversary can capture and later replay: the
+    ciphertext, its MAC tag and the version it was sealed under. The
+    on-chip trusted version counter is *not* part of the snapshot.
+    """
+
+    ciphertext: bytes
+    tag: bytes
+    version: int
 
 
 def pad_block(value: bytes, block_bytes: int = 64) -> bytes:
@@ -66,6 +82,7 @@ class EncryptedTreeStore:
             BucketMerkleTree(cfg.levels) if with_integrity else None
         )
         self._rng = np.random.default_rng(seed)
+        self._sealed_buckets: Set[int] = set()
         self.seals = 0
         self.opens = 0
 
@@ -84,15 +101,21 @@ class EncryptedTreeStore:
         off = self._offset(bucket, slot)
         self._memory[off:off + self.cfg.block_bytes] = ciphertext
         self._tags[(bucket, slot)] = tag
+        self._sealed_buckets.add(bucket)
         if self.integrity is not None:
             self.integrity.update_bucket(bucket, self._content_digest(bucket))
         self.seals += 1
 
+    def _dummy_plaintext(self) -> bytes:
+        """Fresh random filler for a dummy seal (dummies must look like
+        data). Split out so wrappers can route dummy seals through their
+        own ``seal_slot`` without perturbing the RNG stream."""
+        return self._rng.integers(0, 256, self.cfg.block_bytes,
+                                  dtype=np.uint8).tobytes()
+
     def seal_dummy(self, bucket: int, slot: int) -> None:
-        """Seal fresh random bytes (dummies must look like data)."""
-        noise = self._rng.integers(0, 256, self.cfg.block_bytes,
-                                   dtype=np.uint8).tobytes()
-        self.seal_slot(bucket, slot, noise)
+        """Seal fresh random bytes into a dummy slot."""
+        self.seal_slot(bucket, slot, self._dummy_plaintext())
 
     # ------------------------------------------------------------- opening
 
@@ -102,7 +125,12 @@ class EncryptedTreeStore:
         if key not in self._tags:
             raise KeyError(f"slot {key} was never sealed")
         if self.integrity is not None:
-            self.integrity.verify_bucket(bucket)
+            # Recomputing the content digest from the (untrusted) tags
+            # and versions just fetched catches dropped writes whose
+            # stale tag still hangs off a consistent hash chain.
+            self.integrity.verify_bucket(
+                bucket, content_digest=self._content_digest(bucket)
+            )
         addr = self.layout.data_addr(bucket, slot)
         off = self._offset(bucket, slot)
         ciphertext = bytes(self._memory[off:off + self.cfg.block_bytes])
@@ -122,6 +150,64 @@ class EncryptedTreeStore:
         for s in range(z):
             h.update(self._tags.get((bucket, s), b"\x00" * 8))
         return h.digest()
+
+    def verify_path(self, leaf: int) -> None:
+        """Verify one path's buckets end to end (readPath prefetch check).
+
+        For every sealed bucket on the path, the content digest is
+        recomputed from the tags/versions currently in memory and
+        checked against the Merkle tree's stored copy, then the whole
+        hash chain is checked against the on-chip root. Never-sealed
+        buckets only participate in the chain check (their stored
+        content is the initialization sentinel).
+        """
+        if self.integrity is None:
+            return
+        for b in tree_mod.path_buckets(leaf, self.cfg.levels):
+            if b in self._sealed_buckets:
+                stored = self.integrity.stored_content(b)
+                if stored != self._content_digest(b):
+                    raise IntegrityError(
+                        f"content digest mismatch at bucket {b}", bucket=b
+                    )
+        self.integrity.verify_path(leaf)
+
+    # ---------------------------------------------------- snapshot/restore
+
+    def snapshot_slot(self, bucket: int, slot: int) -> SlotSnapshot:
+        """Capture a slot's off-chip state (what an adversary could keep)."""
+        key = (bucket, slot)
+        if key not in self._tags:
+            raise KeyError(f"slot {key} was never sealed")
+        return SlotSnapshot(
+            ciphertext=self.raw_ciphertext(bucket, slot),
+            tag=self._tags[key],
+            version=int(self._version[bucket, slot]),
+        )
+
+    def restore_slot(
+        self,
+        bucket: int,
+        slot: int,
+        snap: SlotSnapshot,
+        restore_version: bool = False,
+        rehash: bool = False,
+    ) -> None:
+        """Adversarially write an old sealed triple back (attack hook).
+
+        ``restore_version`` also rolls back the untrusted version word
+        (a full replay); ``rehash`` additionally rebuilds the Merkle
+        chain consistently -- everything an off-chip adversary controls.
+        The on-chip root copy is never touched.
+        """
+        off = self._offset(bucket, slot)
+        self._memory[off:off + self.cfg.block_bytes] = snap.ciphertext
+        self._tags[(bucket, slot)] = snap.tag
+        if restore_version:
+            self._version[bucket, slot] = snap.version
+        if rehash and self.integrity is not None:
+            self.integrity.tamper_content(bucket, self._content_digest(bucket))
+            self.integrity.tamper_rehash(bucket)
 
     # -------------------------------------------------------- attack hooks
 

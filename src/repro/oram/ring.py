@@ -37,13 +37,18 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.crypto.auth import AuthenticationError
+from repro.crypto.integrity import IntegrityError
 from repro.oram import tree as tree_mod
 from repro.oram.bucket import BucketStore, DUMMY, ST_REFRESHED, SlotStatus
 from repro.oram.config import OramConfig
 from repro.oram.position_map import PositionMap
 from repro.oram.plb import RecursivePosMap
+from repro.oram.recovery import RobustnessConfig, TransientBackendError
 from repro.oram.stash import Stash
-from repro.oram.stats import CountingSink, MemorySink, OpKind
+from repro.oram.stats import (
+    CountingSink, MemorySink, OpKind, RobustnessCounters,
+)
 
 # Safety valve: background eviction should drain the stash within a few
 # evictPath rounds; this many dummy accesses in a single drain means the
@@ -69,6 +74,7 @@ class RingOram:
         datastore: Optional[Any] = None,
         posmap_mode: str = "onchip",
         plb_entries: int = 4096,
+        robustness: Optional[RobustnessConfig] = None,
     ) -> None:
         self.cfg = cfg
         self.sink = sink if sink is not None else CountingSink(cfg.levels)
@@ -92,6 +98,20 @@ class RingOram:
             RecursivePosMap(cfg.n_real_blocks, plb_entries=plb_entries)
             if posmap_mode == "recursive" else None
         )
+        # Robustness: with a policy AND a datastore attached, crypto
+        # failures are absorbed by the recovery ladder instead of
+        # propagating (the historical behaviour, kept for plain runs).
+        self.robustness = robustness
+        self.robust = RobustnessCounters()
+        self._recovery_active = robustness is not None and datastore is not None
+        self._verify_paths = bool(
+            self._recovery_active
+            and robustness.integrity
+            and robustness.verify_paths
+            and getattr(datastore, "integrity", None) is not None
+        )
+        self._quarantined: Dict[int, None] = {}   # insertion-ordered set
+        self._rebuilding: Optional[int] = None
         self.evict_counter = 0
         self.online_accesses = 0       # real + stash-hit accesses (paper's X axis)
         self.accesses_since_evict = 0
@@ -125,9 +145,7 @@ class RingOram:
                 pm_leaf = int(self.rng.integers(self.cfg.n_leaves))
                 pm_pending = self._read_path(pm_leaf, target=None,
                                              kind=OpKind.POSMAP)
-                for b in pm_pending:
-                    if self.store.needs_reshuffle(b):
-                        self._early_reshuffle(b)
+                self._service_reshuffles(pm_pending)
                 self.accesses_since_evict += 1
                 if self.accesses_since_evict >= self.cfg.evict_rate:
                     self.accesses_since_evict = 0
@@ -230,6 +248,8 @@ class RingOram:
         # ``buckets[i]`` sits at level ``i``.
         meta_items = [(b, lv, lv < treetop) for lv, b in enumerate(buckets)]
         sink.metadata_access_many(meta_items, write=False, blocks=mblocks)
+        if self._verify_paths:
+            self._verify_path_integrity(leaf, buckets)
         if ext is not None:
             for lv, b in enumerate(buckets):
                 ext.gather(b, lv)
@@ -385,9 +405,7 @@ class RingOram:
     # ---------------------------------------------------------- maintenance
 
     def _run_maintenance(self, pending_reshuffles: List[int]) -> None:
-        for b in pending_reshuffles:
-            if self.store.needs_reshuffle(b):
-                self._early_reshuffle(b)
+        self._service_reshuffles(pending_reshuffles)
         self.accesses_since_evict += 1
         if self.accesses_since_evict >= self.cfg.evict_rate:
             self.accesses_since_evict = 0
@@ -418,14 +436,70 @@ class RingOram:
         for blk in residents:
             self.stash.add(blk, self.posmap.peek(blk))
 
-    def _early_reshuffle(self, b: int) -> None:
-        """Reshuffle one saturated bucket (offline access)."""
+    def _service_reshuffles(self, pending: List[int]) -> None:
+        """Run every due earlyReshuffle, then rebuild quarantined buckets.
+
+        The shared maintenance step of the main access path, the
+        recursive position-map path and background eviction. Quarantine
+        rebuilds ride the same window: they are forced reshuffles and
+        must never nest inside an in-flight operation.
+        """
+        for b in pending:
+            if self.store.needs_reshuffle(b):
+                self._early_reshuffle(b)
+        if self._quarantined:
+            self._rebuild_quarantined()
+
+    def flush_recovery(self) -> None:
+        """Drain any still-quarantined buckets outside an access.
+
+        Corruption detected during the *last* maintenance window of a
+        run (e.g. inside its evictPath) has no later access to ride;
+        drivers call this once at end of run so every detected fault is
+        either rebuilt or counted unrecovered, never left pending.
+        """
+        if self._quarantined:
+            self._rebuild_quarantined()
+
+    def _quarantine(self, bucket: int) -> None:
+        """Mark a bucket corrupted; its rebuild runs at next maintenance."""
+        if self._rebuilding == bucket:
+            # Failures while rebuilding this very bucket are expected
+            # (its residents may be unrecoverable); don't re-queue it.
+            return
+        if self.robustness is None or not self.robustness.quarantine:
+            self.robust.unrecovered += 1
+            return
+        if bucket not in self._quarantined:
+            self._quarantined[bucket] = None
+            self.robust.quarantines += 1
+
+    def _rebuild_quarantined(self) -> None:
+        """Force-reshuffle every quarantined bucket (recovery ladder
+        step 2). Rebuilding reseals all of the bucket's slots, which
+        refreshes MACs and re-derives the Merkle path up to a fresh
+        on-chip root pin."""
+        while self._quarantined:
+            b = min(self._quarantined)
+            del self._quarantined[b]
+            self._rebuilding = b
+            try:
+                self._early_reshuffle(b, kind=OpKind.RECOVERY)
+            finally:
+                self._rebuilding = None
+            self.robust.rebuilds += 1
+            self.robust.recovered += 1
+
+    def _early_reshuffle(
+        self, b: int, kind: OpKind = OpKind.EARLY_RESHUFFLE
+    ) -> None:
+        """Reshuffle one saturated (or quarantined) bucket (offline)."""
         cfg = self.cfg
         store = self.store
         sink = self.sink
         lv = store.level(b)
         onchip = lv < cfg.treetop_levels
-        sink.begin_op(OpKind.EARLY_RESHUFFLE)
+        sink.begin_op(kind)
         sink.metadata_access(b, lv, write=False, onchip=onchip,
                              blocks=self.metadata_blocks)
         # Read phase: Z' reads (valid real blocks padded with dummies --
@@ -440,7 +514,7 @@ class RingOram:
                              blocks=self.metadata_blocks)
         sink.end_op()
         for obs in self.observers:
-            obs.on_reshuffle(b, lv, OpKind.EARLY_RESHUFFLE)
+            obs.on_reshuffle(b, lv, kind)
 
     def _evict_path(self) -> None:
         """Scheduled path reshuffle in reverse-lexicographic order."""
@@ -585,9 +659,7 @@ class RingOram:
             self.background_accesses += 1
             leaf = int(self.rng.integers(cfg.n_leaves))
             pending = self._read_path(leaf, target=None, kind=OpKind.BACKGROUND)
-            for b in pending:
-                if self.store.needs_reshuffle(b):
-                    self._early_reshuffle(b)
+            self._service_reshuffles(pending)
             self.accesses_since_evict += 1
             if self.accesses_since_evict >= cfg.evict_rate:
                 self.accesses_since_evict = 0
@@ -600,9 +672,77 @@ class RingOram:
             obs.on_slot_dead(b, slot, lv)
 
     def _capture_payload(self, block: int, bucket: int, slot: int) -> None:
-        """Decrypt+verify a consumed real block into the stash payloads."""
-        if self.datastore is not None and block >= 0:
+        """Decrypt+verify a consumed real block into the stash payloads.
+
+        Without a robustness policy, crypto failures propagate (tamper
+        experiments rely on that). With one, the recovery ladder runs:
+        retries for transient faults, quarantine for corruption, then a
+        stash-served read or -- the last rung -- a zeroed payload.
+        """
+        if self.datastore is None or block < 0:
+            return
+        if not self._recovery_active:
             self._stash_payload[block] = self.datastore.open_slot(bucket, slot)
+            return
+        payload = self._open_slot_recovering(bucket, slot)
+        if payload is None:
+            if block in self._stash_payload:
+                # The stash already holds this block's bytes (it was
+                # read or written earlier); serve those instead.
+                self.robust.stash_served_reads += 1
+                return
+            payload = bytes(self.cfg.block_bytes)
+            self.robust.payload_resets += 1
+        self._stash_payload[block] = payload
+
+    def _open_slot_recovering(self, bucket: int, slot: int) -> Optional[bytes]:
+        """Open one slot through the recovery ladder.
+
+        Returns the plaintext, or ``None`` when the slot is lost to
+        persistent corruption (the bucket is then quarantined).
+        """
+        rc = self.robust
+        rcfg = self.robustness
+        attempts = 0
+        while True:
+            try:
+                payload = self.datastore.open_slot(bucket, slot)
+            except TransientBackendError:
+                rc.transient_faults += 1
+                if attempts >= rcfg.retry_budget:
+                    rc.retry_exhausted += 1
+                    self._quarantine(bucket)
+                    return None
+                attempts += 1
+                rc.retries += 1
+                self.sink.stall(
+                    rcfg.backoff_base_ns * rcfg.backoff_factor ** (attempts - 1)
+                )
+                continue
+            except AuthenticationError:
+                rc.auth_failures += 1
+                self._quarantine(bucket)
+                return None
+            except IntegrityError as exc:
+                rc.integrity_failures += 1
+                self._quarantine(exc.bucket if exc.bucket is not None else bucket)
+                return None
+            if attempts:
+                rc.transient_recovered += 1
+            return payload
+
+    def _verify_path_integrity(self, leaf: int, buckets: Sequence[int]) -> None:
+        """Verify the fetched path's hash chain (recovery ladder entry).
+
+        A localized mismatch quarantines the culprit bucket; a root-only
+        mismatch (consistent-rehash replay) quarantines the path's leaf
+        bucket, whose rebuild re-derives and re-pins the root.
+        """
+        try:
+            self.datastore.verify_path(leaf)
+        except IntegrityError as exc:
+            self.robust.integrity_failures += 1
+            self._quarantine(exc.bucket if exc.bucket is not None else buckets[-1])
 
     # ------------------------------------------------------------- checking
 

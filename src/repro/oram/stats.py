@@ -19,7 +19,7 @@ them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +38,7 @@ class OpKind(enum.Enum):
     EARLY_RESHUFFLE = "earlyReshuffle"
     BACKGROUND = "background"
     POSMAP = "posMap"
+    RECOVERY = "recovery"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -90,8 +91,46 @@ class MemorySink:
             self.metadata_access(bucket, level, write,
                                  onchip=onchip, blocks=blocks)
 
+    def stall(self, ns: float) -> None:
+        """Charge ``ns`` of controller stall time (retry backoff) to the
+        current operation. Counting sinks ignore it; timing sinks extend
+        the operation's completion time."""
+
     def end_op(self) -> None:
         """The current operation finished."""
+
+
+@dataclass
+class RobustnessCounters:
+    """Detection/recovery event tallies (the recovery ladder's ledger).
+
+    Owned by the controller, surfaced through ``SimResult.robustness``
+    and the fault-campaign report. ``recovered`` counts quarantined
+    buckets whose forced rebuild completed; ``transient_recovered``
+    counts opens that succeeded after at least one retry.
+    """
+
+    transient_faults: int = 0
+    retries: int = 0
+    transient_recovered: int = 0
+    retry_exhausted: int = 0
+    auth_failures: int = 0
+    integrity_failures: int = 0
+    quarantines: int = 0
+    rebuilds: int = 0
+    recovered: int = 0
+    unrecovered: int = 0
+    payload_resets: int = 0
+    stash_served_reads: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+    @property
+    def detections(self) -> int:
+        """All fault detections, transient or persistent."""
+        return (self.transient_faults + self.auth_failures
+                + self.integrity_failures)
 
 
 @dataclass
@@ -288,6 +327,10 @@ class TeeSink(MemorySink):
     def metadata_access_many(self, items, write, blocks=1):
         for s in self.sinks:
             s.metadata_access_many(items, write, blocks=blocks)
+
+    def stall(self, ns: float) -> None:
+        for s in self.sinks:
+            s.stall(ns)
 
     def end_op(self) -> None:
         for s in self.sinks:

@@ -23,10 +23,15 @@ or the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.oram.config import OramConfig
 from repro.oram.metadata import ab_metadata_fields, metadata_bytes
+from repro.oram.recovery import RobustnessConfig
+
+#: Runs at least this long with integrity enabled should checkpoint:
+#: a single late fault otherwise throws away the whole sweep.
+LONG_RUN_REQUESTS = 10_000
 
 ERROR = "ERROR"
 WARNING = "WARNING"
@@ -134,6 +139,74 @@ def diagnose(cfg: OramConfig) -> List[Finding]:
             f"DeadQ holds {cfg.deadq_capacity} entries per level; the "
             f"smallest tracked level has {buckets} buckets "
             f"({cfg.deadq_capacity / buckets:.2f} entries/bucket)",
+        ))
+
+    return findings
+
+
+def diagnose_robustness(
+    robustness: Optional[RobustnessConfig],
+    n_requests: Optional[int] = None,
+    checkpoint_every: int = 0,
+    faults_enabled: bool = False,
+) -> List[Finding]:
+    """Inspect a robustness policy in the context of one run.
+
+    ``n_requests`` and ``checkpoint_every`` describe the run the policy
+    will govern; ``faults_enabled`` says whether a fault plan with
+    non-zero rates is attached.
+    """
+    findings: List[Finding] = []
+    if robustness is None:
+        if faults_enabled:
+            findings.append(Finding(
+                ERROR, "faults-unguarded",
+                "a fault plan is attached but no robustness policy is "
+                "configured; injected faults would crash the run",
+            ))
+        return findings
+
+    if faults_enabled and robustness.retry_budget == 0:
+        if robustness.quarantine:
+            findings.append(Finding(
+                WARNING, "retry-zero",
+                "retry budget is 0 with faults enabled; every transient "
+                "outage escalates straight to quarantine-and-rebuild",
+            ))
+        else:
+            findings.append(Finding(
+                ERROR, "no-recovery",
+                "retry budget is 0 and quarantine is disabled with "
+                "faults enabled; every fault is unrecoverable",
+            ))
+    elif faults_enabled and not robustness.quarantine:
+        findings.append(Finding(
+            WARNING, "quarantine-off",
+            "quarantine is disabled; persistent corruption is detected "
+            "but never repaired (counted unrecovered)",
+        ))
+
+    if faults_enabled and not robustness.integrity:
+        findings.append(Finding(
+            WARNING, "faults-without-integrity",
+            "faults are enabled without the integrity tree; replayed "
+            "slots will be accepted undetected",
+        ))
+
+    if robustness.retry_budget > 0 and robustness.backoff_base_ns <= 0:
+        findings.append(Finding(
+            WARNING, "backoff-zero",
+            "retries are enabled with zero backoff; retry storms are "
+            "free in simulated time, hiding their real cost",
+        ))
+
+    if (robustness.integrity and n_requests is not None
+            and n_requests >= LONG_RUN_REQUESTS and checkpoint_every <= 0):
+        findings.append(Finding(
+            WARNING, "integrity-no-checkpoint",
+            f"integrity verification on a {n_requests}-request run "
+            f"without checkpointing; use --checkpoint-every so a late "
+            f"fault cannot discard the whole run",
         ))
 
     return findings

@@ -36,7 +36,10 @@ def load_report(path: str) -> Tuple[Any, List[str]]:
     try:
         with open(path) as f:
             doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as exc:
+    except (OSError, ValueError) as exc:
+        # ValueError covers JSONDecodeError and UnicodeDecodeError:
+        # truncated, corrupted or outright binary files must surface as
+        # a one-line diagnosis, never a traceback.
         return None, [f"{path}: cannot load report: {exc}"]
     errors = [f"{path}: {e}" for e in validate_report(doc)]
     return doc, errors

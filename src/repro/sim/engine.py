@@ -24,6 +24,7 @@ warm-up exclusion and returns a :class:`~repro.sim.results.SimResult`.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -33,6 +34,7 @@ from repro.mem.dram import DramModel
 from repro.mem.layout import TreeLayout
 from repro.mem.timing import DDR3_1600, DramTiming
 from repro.oram.config import OramConfig
+from repro.oram.recovery import RobustnessConfig
 from repro.oram.stats import CountingSink, MemorySink, OpKind, TeeSink
 from repro.sim.results import SimResult
 from repro.traces.trace import Trace
@@ -70,6 +72,21 @@ class DramSink(MemorySink):
         if ns < 0:
             raise ValueError(f"cannot advance time by {ns}")
         self.now += ns
+
+    def stall(self, ns: float) -> None:
+        """Charge controller stall time (retry backoff) to the clock.
+
+        Unlike :meth:`advance`, this is safe *inside* an operation:
+        ``end_op`` rewinds ``now`` to the operation's completion time,
+        so mid-op waiting must extend ``_op_end`` instead.
+        """
+        if ns < 0:
+            raise ValueError(f"cannot stall for {ns}")
+        self.dram.stats.stalled_ns += ns
+        if self._op_kind is None:
+            self.now += ns
+        else:
+            self._op_end += ns
 
     def reset_measurement(self) -> float:
         """Zero the attribution counters (end of warm-up).
@@ -192,7 +209,17 @@ class DramSink(MemorySink):
 
 @dataclass
 class SimConfig:
-    """Knobs of one simulation run."""
+    """Knobs of one simulation run.
+
+    ``robustness`` attaches the functional sealed data path (an
+    :class:`~repro.oram.datastore.EncryptedTreeStore`) plus the
+    recovery ladder; ``fault_plan`` additionally wraps that store in a
+    :class:`~repro.faults.memory.FaultyMemory` injecting the plan's
+    faults (armed only after warm-fill). A fault plan without an
+    explicit robustness policy implies ``RobustnessConfig(integrity=
+    True)`` -- injecting faults into a stack that cannot detect them is
+    almost never what a caller wants.
+    """
 
     timing: DramTiming = DDR3_1600
     mapping: AddressMapping = field(default_factory=AddressMapping)
@@ -201,68 +228,200 @@ class SimConfig:
     seed: int = 0
     observers: Sequence[Any] = ()
     check_invariants: bool = False
+    robustness: Optional[RobustnessConfig] = None
+    fault_plan: Optional[Any] = None
+
+
+class Simulation:
+    """A stepwise, checkpointable simulation of one (scheme, trace) pair.
+
+    The constructor builds the full stack (sinks, DRAM model, ORAM,
+    optional sealed store and fault wrapper) and performs warm-fill;
+    :meth:`step` services one trace request; :meth:`run` drives the
+    loop to completion, optionally persisting a checkpoint every N
+    requests. The whole object is picklable, and resuming a pickled
+    instance continues bit-identically -- every random stream and every
+    piece of timing state lives inside it.
+    """
+
+    def __init__(
+        self, cfg: OramConfig, trace: Trace, sim: Optional[SimConfig] = None
+    ) -> None:
+        sim = sim or SimConfig()
+        self.cfg = cfg
+        self.trace = trace
+        self.sim = sim
+        self.counting = CountingSink(cfg.levels)
+        # The layout must account for the scheme's metadata record width.
+        from repro.core.ab_oram import needs_extensions
+        from repro.oram import metadata as md
+        fields = (
+            md.ab_metadata_fields(cfg) if needs_extensions(cfg)
+            else md.ring_metadata_fields(cfg)
+        )
+        layout = TreeLayout(cfg, metadata_blocks=md.metadata_blocks(cfg, fields))
+        self.dram = DramModel(sim.timing, sim.mapping)
+        self.dram_sink = DramSink(layout, self.dram)
+        sink = TeeSink(self.counting, self.dram_sink)
+        robustness = sim.robustness
+        if robustness is None and sim.fault_plan is not None:
+            robustness = RobustnessConfig(integrity=True)
+        self.robustness = robustness
+        self.datastore = None
+        self.faulty = None
+        if robustness is not None:
+            from repro.oram.datastore import EncryptedTreeStore
+            master_key = hashlib.sha256(
+                b"repro/simulate|" + str(sim.seed).encode()
+            ).digest()
+            self.datastore = EncryptedTreeStore(
+                cfg, master_key, seed=sim.seed,
+                with_integrity=robustness.integrity,
+            )
+            if sim.fault_plan is not None:
+                # Imported lazily: repro.faults imports this module.
+                from repro.faults.memory import FaultyMemory
+                self.faulty = FaultyMemory(
+                    self.datastore, sim.fault_plan, armed=False
+                )
+        self.oram = build_oram(
+            cfg, sink=sink, seed=sim.seed, observers=sim.observers,
+            datastore=self.faulty if self.faulty is not None else self.datastore,
+            robustness=robustness,
+        )
+        if sim.warm_fill:
+            self.oram.warm_fill()
+        if self.faulty is not None:
+            self.faulty.armed = True
+        self._i = 0
+        self._measure_start = 0.0
+        self._counted_from = 0
+
+    # ------------------------------------------------------------- driving
+
+    @property
+    def position(self) -> int:
+        """Index of the next trace request to service."""
+        return self._i
+
+    @property
+    def done(self) -> bool:
+        return self._i >= len(self.trace)
+
+    def step(self) -> bool:
+        """Service one trace request; returns False once exhausted."""
+        i = self._i
+        if i >= len(self.trace):
+            return False
+        if i == self.sim.warmup_requests and i > 0:
+            self._measure_start = self.dram_sink.reset_measurement()
+            self.counting.reset()
+            self._counted_from = i
+        self.dram_sink.advance(self.trace.cpu_gap_ns)
+        req = self.trace.requests[i]
+        if req.write and self.datastore is not None:
+            # Traces carry no payloads; with a sealed data path attached
+            # every write still needs bytes to encrypt. A deterministic
+            # function of (block, position) keeps runs replayable.
+            value = b"%16x%16x" % (req.block, i)
+            self.oram.access(req.block, write=True, value=value)
+        else:
+            self.oram.access(req.block, write=req.write)
+        self._i = i + 1
+        return True
+
+    def run(
+        self,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ) -> SimResult:
+        """Drive the trace to completion and return the result.
+
+        With ``checkpoint_every`` > 0, the simulation pickles itself to
+        ``checkpoint_path`` after every N serviced requests; a run
+        resumed from any of those checkpoints finishes bit-identically.
+        """
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every and not checkpoint_path:
+            raise ValueError("checkpoint_every requires a checkpoint path")
+        while self.step():
+            if (checkpoint_every and not self.done
+                    and self._i % checkpoint_every == 0):
+                from repro.sim.checkpoint import save_checkpoint
+                save_checkpoint(self, checkpoint_path)
+        if self.robustness is not None:
+            # Corruption caught in the last access's maintenance has no
+            # later window to rebuild in; drain it before reporting.
+            self.oram.flush_recovery()
+        if self.sim.check_invariants:
+            self.oram.check_invariants()
+        return self.result()
+
+    # -------------------------------------------------------------- result
+
+    def _robustness_block(self) -> Optional[Dict[str, Any]]:
+        if self.robustness is None:
+            return None
+        block: Dict[str, Any] = {
+            "config": self.robustness.to_dict(),
+            "counters": self.oram.robust.to_dict(),
+            "datastore": {
+                "seals": self.datastore.seals,
+                "opens": self.datastore.opens,
+            },
+            "backoff_stalled_ns": self.dram.stats.stalled_ns,
+        }
+        if self.datastore.integrity is not None:
+            block["integrity"] = {
+                "updates": self.datastore.integrity.updates,
+                "verifications": self.datastore.integrity.verifications,
+            }
+        if self.faulty is not None:
+            block["faults"] = self.faulty.summary()
+        return block
+
+    def result(self) -> SimResult:
+        """Build the :class:`SimResult` for everything measured so far."""
+        cfg = self.cfg
+        oram = self.oram
+        dram_sink = self.dram_sink
+        dram = self.dram
+        measured_requests = self._i - self._counted_from
+        exec_ns = dram_sink.now - self._measure_start
+        import numpy as _np
+        lats = dram_sink.readpath_latencies
+        readpath_p50 = float(_np.percentile(lats, 50)) if lats else 0.0
+        readpath_p99 = float(_np.percentile(lats, 99)) if lats else 0.0
+        return SimResult(
+            scheme=cfg.name,
+            trace=self.trace.name,
+            requests=measured_requests,
+            exec_ns=exec_ns,
+            time_by_kind={str(k): v for k, v in dram_sink.time_by_kind.items()},
+            ops_by_kind={str(k): v for k, v in dram_sink.ops_by_kind.items()},
+            dram_reads=dram.stats.reads,
+            dram_writes=dram.stats.writes,
+            row_hit_rate=dram.stats.row_hit_rate,
+            bytes_transferred=dram.stats.bytes_transferred,
+            remote_accesses=dram_sink.remote_accesses,
+            tree_bytes=cfg.tree_bytes,
+            space_utilization=cfg.space_utilization,
+            online_accesses=oram.online_accesses,
+            background_accesses=oram.background_accesses,
+            evictions=oram.evict_counter,
+            stash_peak=oram.stash.peak_occupancy,
+            reshuffles_by_level=[int(x) for x in oram.store.reshuffles_by_level],
+            extension_ratio=(
+                oram.ext.extension_ratio if oram.ext is not None else None
+            ),
+            dead_blocks=oram.store.total_dead_slots(),
+            readpath_p50_ns=readpath_p50,
+            readpath_p99_ns=readpath_p99,
+            robustness=self._robustness_block(),
+        )
 
 
 def simulate(cfg: OramConfig, trace: Trace, sim: Optional[SimConfig] = None) -> SimResult:
     """Replay ``trace`` against scheme ``cfg`` and measure everything."""
-    sim = sim or SimConfig()
-    counting = CountingSink(cfg.levels)
-    # The layout must account for the scheme's metadata record width.
-    from repro.core.ab_oram import needs_extensions
-    from repro.oram import metadata as md
-    fields = (
-        md.ab_metadata_fields(cfg) if needs_extensions(cfg)
-        else md.ring_metadata_fields(cfg)
-    )
-    layout = TreeLayout(cfg, metadata_blocks=md.metadata_blocks(cfg, fields))
-    dram = DramModel(sim.timing, sim.mapping)
-    dram_sink = DramSink(layout, dram)
-    sink = TeeSink(counting, dram_sink)
-    oram = build_oram(
-        cfg, sink=sink, seed=sim.seed, observers=sim.observers
-    )
-    if sim.warm_fill:
-        oram.warm_fill()
-    measure_start = 0.0
-    counted_from = 0
-    for i, req in enumerate(trace):
-        if i == sim.warmup_requests and i > 0:
-            measure_start = dram_sink.reset_measurement()
-            counting.reset()
-            counted_from = i
-        dram_sink.advance(trace.cpu_gap_ns)
-        oram.access(req.block, write=req.write)
-    if sim.check_invariants:
-        oram.check_invariants()
-    measured_requests = len(trace) - counted_from
-    exec_ns = dram_sink.now - measure_start
-    import numpy as _np
-    lats = dram_sink.readpath_latencies
-    readpath_p50 = float(_np.percentile(lats, 50)) if lats else 0.0
-    readpath_p99 = float(_np.percentile(lats, 99)) if lats else 0.0
-    return SimResult(
-        scheme=cfg.name,
-        trace=trace.name,
-        requests=measured_requests,
-        exec_ns=exec_ns,
-        time_by_kind={str(k): v for k, v in dram_sink.time_by_kind.items()},
-        ops_by_kind={str(k): v for k, v in dram_sink.ops_by_kind.items()},
-        dram_reads=dram.stats.reads,
-        dram_writes=dram.stats.writes,
-        row_hit_rate=dram.stats.row_hit_rate,
-        bytes_transferred=dram.stats.bytes_transferred,
-        remote_accesses=dram_sink.remote_accesses,
-        tree_bytes=cfg.tree_bytes,
-        space_utilization=cfg.space_utilization,
-        online_accesses=oram.online_accesses,
-        background_accesses=oram.background_accesses,
-        evictions=oram.evict_counter,
-        stash_peak=oram.stash.peak_occupancy,
-        reshuffles_by_level=[int(x) for x in oram.store.reshuffles_by_level],
-        extension_ratio=(
-            oram.ext.extension_ratio if oram.ext is not None else None
-        ),
-        dead_blocks=oram.store.total_dead_slots(),
-        readpath_p50_ns=readpath_p50,
-        readpath_p99_ns=readpath_p99,
-    )
+    return Simulation(cfg, trace, sim).run()

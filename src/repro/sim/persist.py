@@ -8,6 +8,7 @@ and reload them without rerunning the simulator.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import json
 from pathlib import Path
 from typing import Dict, List, Mapping, Union
@@ -18,6 +19,17 @@ PathLike = Union[str, Path]
 
 _FORMAT_VERSION = 1
 
+#: Derived properties re-emitted by ``to_dict`` -- ignored on load.
+_DERIVED_KEYS = ("bandwidth_gbps", "ns_per_access")
+
+_FIELDS = dataclasses.fields(SimResult)
+_KNOWN_KEYS = {f.name for f in _FIELDS}
+_REQUIRED_KEYS = {
+    f.name for f in _FIELDS
+    if f.default is dataclasses.MISSING
+    and f.default_factory is dataclasses.MISSING
+}
+
 
 def result_to_dict(result: SimResult) -> Dict[str, object]:
     d = result.to_dict()
@@ -26,10 +38,27 @@ def result_to_dict(result: SimResult) -> Dict[str, object]:
 
 
 def result_from_dict(data: Mapping[str, object]) -> SimResult:
+    """Rebuild a :class:`SimResult`, validating the record first.
+
+    Raises :class:`ValueError` -- naming the offending keys -- on a
+    format-version mismatch, missing required fields or unknown fields,
+    instead of surfacing a ``TypeError`` from the dataclass constructor
+    long after the bad record was read.
+    """
     d = dict(data)
-    d.pop("_format", None)
-    d.pop("bandwidth_gbps", None)   # derived properties
-    d.pop("ns_per_access", None)
+    fmt = d.pop("_format", _FORMAT_VERSION)
+    if fmt != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {fmt!r} (expected {_FORMAT_VERSION})"
+        )
+    for key in _DERIVED_KEYS:
+        d.pop(key, None)
+    missing = sorted(_REQUIRED_KEYS.difference(d))
+    if missing:
+        raise ValueError(f"result record is missing required keys: {missing}")
+    unknown = sorted(set(d).difference(_KNOWN_KEYS))
+    if unknown:
+        raise ValueError(f"result record has unknown keys: {unknown}")
     return SimResult(**d)
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 
 @dataclass
@@ -39,6 +39,9 @@ class SimResult:
     dead_blocks: int
     readpath_p50_ns: float = 0.0
     readpath_p99_ns: float = 0.0
+    #: Robustness ledger (recovery counters, fault injection summary,
+    #: integrity statistics); None for runs without a robustness policy.
+    robustness: Optional[Dict[str, Any]] = None
 
     @property
     def bandwidth_gbps(self) -> float:

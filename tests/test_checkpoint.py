@@ -1,0 +1,100 @@
+"""Tests for crash-resumable simulation (repro.sim.checkpoint)."""
+
+import pickle
+
+import pytest
+
+from repro.core import schemes as schemes_mod
+from repro.faults.plan import FaultPlan
+from repro.oram.recovery import RobustnessConfig
+from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.runner import make_trace
+
+
+def _fresh(requests=120, fault_plan=None, robustness=None):
+    scheme = schemes_mod.by_name("ring", 7)
+    trace = make_trace("spec", "mcf", scheme.n_real_blocks, requests, seed=0)
+    sim = SimConfig(seed=0, robustness=robustness, fault_plan=fault_plan)
+    return Simulation(scheme, trace, sim)
+
+
+class TestCheckpointRoundtrip:
+    def test_resume_is_bit_identical(self, tmp_path):
+        """Stop a run halfway, reload the checkpoint, finish: the result
+        dict must equal the uninterrupted run's exactly."""
+        baseline = _fresh().run()
+        sim = _fresh()
+        for _ in range(60):
+            sim.step()
+        path = tmp_path / "ck.pkl"
+        save_checkpoint(sim, path)
+        resumed = load_checkpoint(path)
+        assert resumed.position == 60
+        result = resumed.run()
+        assert result.to_dict() == baseline.to_dict()
+
+    def test_resume_with_faults_is_bit_identical(self, tmp_path):
+        """The fault wrapper's ledgers (history, outstanding drops,
+        outage state) ride inside the checkpoint too."""
+        plan = FaultPlan(seed=0, rates={"bit_flip": 0.01})
+        rcfg = RobustnessConfig(integrity=True)
+        baseline = _fresh(fault_plan=plan, robustness=rcfg).run()
+        sim = _fresh(fault_plan=plan, robustness=rcfg)
+        for _ in range(50):
+            sim.step()
+        path = tmp_path / "ck.pkl"
+        save_checkpoint(sim, path)
+        result = load_checkpoint(path).run()
+        assert result.to_dict() == baseline.to_dict()
+
+    def test_run_emits_periodic_checkpoints(self, tmp_path):
+        path = tmp_path / "ck.pkl"
+        sim = _fresh()
+        sim.run(checkpoint_every=40, checkpoint_path=str(path))
+        resumed = load_checkpoint(path)
+        assert resumed.position == 80  # the last multiple of 40 before done
+
+    def test_checkpoint_every_requires_path(self):
+        with pytest.raises(ValueError, match="checkpoint path"):
+            _fresh().run(checkpoint_every=10)
+        with pytest.raises(ValueError):
+            _fresh().run(checkpoint_every=-1, checkpoint_path="x")
+
+
+class TestCheckpointValidation:
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "garbage.pkl"
+        path.write_bytes(b"\x00\x01definitely not a pickle")
+        with pytest.raises(ValueError, match="not a simulation checkpoint"):
+            load_checkpoint(path)
+
+    def test_wrong_payload_rejected(self, tmp_path):
+        path = tmp_path / "other.pkl"
+        path.write_bytes(pickle.dumps({"magic": "something-else"}))
+        with pytest.raises(ValueError, match="not a simulation checkpoint"):
+            load_checkpoint(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "future.pkl"
+        path.write_bytes(pickle.dumps({
+            "magic": "repro-sim-checkpoint", "format": 99,
+        }))
+        with pytest.raises(ValueError, match="unsupported checkpoint format"):
+            load_checkpoint(path)
+
+    def test_non_simulation_payload_rejected(self, tmp_path):
+        path = tmp_path / "shape.pkl"
+        path.write_bytes(pickle.dumps({
+            "magic": "repro-sim-checkpoint", "format": 1,
+            "simulation": "not a Simulation",
+        }))
+        with pytest.raises(ValueError, match="expected Simulation"):
+            load_checkpoint(path)
+
+    def test_atomic_write_leaves_no_temp(self, tmp_path):
+        path = tmp_path / "ck.pkl"
+        sim = _fresh()
+        save_checkpoint(sim, path)
+        assert path.exists()
+        assert not (tmp_path / "ck.pkl.tmp").exists()

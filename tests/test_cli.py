@@ -107,3 +107,76 @@ class TestFigures:
         out = capsys.readouterr().out
         assert "L2-S2" in out
         assert "Fig 8a" not in out
+
+
+class TestSimulateRobustness:
+    def test_integrity_flag_reports_events(self, capsys):
+        rc = main(["simulate", "--scheme", "ring", "--levels", "7",
+                   "--requests", "80", "--warmup", "0", "--integrity"])
+        assert rc == 0
+        assert "Robustness events" in capsys.readouterr().out
+
+    def test_checkpoint_every_requires_path(self, capsys):
+        rc = main(["simulate", "--scheme", "ring", "--levels", "7",
+                   "--requests", "40", "--checkpoint-every", "10"])
+        assert rc == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_resume_bit_identical(self, capsys, tmp_path):
+        ck = str(tmp_path / "ck.pkl")
+        args = ["simulate", "--scheme", "ring", "--levels", "7",
+                "--requests", "90", "--warmup", "0", "--integrity"]
+        assert main(args + ["--checkpoint", ck,
+                            "--checkpoint-every", "30"]) == 0
+        full = capsys.readouterr().out
+        # The last checkpoint sits at request 60; resuming finishes the
+        # final 30 requests and must print the identical result tables.
+        assert main(["simulate", "--resume", ck]) == 0
+        resumed = capsys.readouterr()
+        assert resumed.out == full
+        assert "resumed" in resumed.err
+
+    def test_resume_rejects_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"not a checkpoint")
+        rc = main(["simulate", "--resume", str(bad)])
+        assert rc == 2
+        assert "not a simulation checkpoint" in capsys.readouterr().err
+
+
+class TestFaultsCli:
+    def test_smoke_campaign_with_detection_gate(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_faults.json"
+        rc = main(["faults", "run", "--smoke", "--levels", "7",
+                   "--requests", "80", "--kinds", "bit_flip", "replay",
+                   "--rates", "0.02", "--out", str(out),
+                   "--require-detection"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "detection check: all tampering faults detected" in text
+        assert out.exists()
+
+    def test_run_sugar_inserted(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_faults.json"
+        rc = main(["faults", "--smoke", "--levels", "7", "--requests", "60",
+                   "--kinds", "bit_flip", "--rates", "0.02",
+                   "--out", str(out)])
+        assert rc == 0
+        assert "fault campaign (smoke)" in capsys.readouterr().out
+
+    def test_bad_rate_rejected(self, capsys, tmp_path):
+        rc = main(["faults", "run", "--smoke", "--rates", "3.0",
+                   "--out", str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_integrity_breaks_detection_gate(self, capsys, tmp_path):
+        """Replays sail through without the Merkle tree; the CI gate
+        must catch that configuration."""
+        out = tmp_path / "BENCH_faults.json"
+        rc = main(["faults", "run", "--smoke", "--levels", "7",
+                   "--requests", "80", "--kinds", "replay",
+                   "--rates", "0.02", "--no-integrity", "--out", str(out),
+                   "--require-detection"])
+        assert rc == 1
+        assert "DETECTION GAP" in capsys.readouterr().out

@@ -164,6 +164,25 @@ class TestCompare:
         assert code == EXIT_ERROR
         assert any("cannot load" in m for m in messages)
 
+    def test_compare_files_binary_garbage(self, tiny_report, tmp_path):
+        """An outright binary file must yield one diagnostic line per
+        report, never a traceback (UnicodeDecodeError is a ValueError)."""
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(tiny_report))
+        bad = tmp_path / "bad.json"
+        bad.write_bytes(bytes(range(256)) * 4)
+        code, messages = compare_files(str(base), str(bad))
+        assert code == EXIT_ERROR
+        assert len(messages) == 1
+        assert "cannot load" in messages[0]
+
+    def test_compare_files_missing_file(self, tiny_report, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(tiny_report))
+        code, messages = compare_files(str(base), str(tmp_path / "no.json"))
+        assert code == EXIT_ERROR
+        assert any("cannot load" in m for m in messages)
+
     def test_compare_files_schema_invalid(self, tiny_report, tmp_path):
         base = tmp_path / "base.json"
         base.write_text(json.dumps(tiny_report))

@@ -76,3 +76,26 @@ class TestCsv:
     def test_empty_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             results_to_csv({}, tmp_path / "e.csv")
+
+
+class TestRecordValidation:
+    def test_format_mismatch_rejected(self, matrix):
+        d = result_to_dict(matrix["Baseline"]["gcc"])
+        d["_format"] = 99
+        with pytest.raises(ValueError, match="unsupported result format"):
+            result_from_dict(d)
+
+    def test_missing_required_keys_named(self, matrix):
+        d = result_to_dict(matrix["Baseline"]["gcc"])
+        del d["exec_ns"]
+        del d["scheme"]
+        with pytest.raises(ValueError, match="missing required keys"):
+            result_from_dict(d)
+        with pytest.raises(ValueError, match="exec_ns"):
+            result_from_dict(d)
+
+    def test_unknown_keys_named(self, matrix):
+        d = result_to_dict(matrix["Baseline"]["gcc"])
+        d["proximal_flux"] = 1
+        with pytest.raises(ValueError, match="unknown keys.*proximal_flux"):
+            result_from_dict(d)

@@ -95,7 +95,7 @@ class TestCountingSink:
         s = sink.summary()
         assert s["background"]["ops"] == 1
         assert set(s) == {"readPath", "evictPath", "earlyReshuffle",
-                          "background", "posMap"}
+                          "background", "posMap", "recovery"}
 
 
 class TestTeeSink:

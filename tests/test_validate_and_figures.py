@@ -7,6 +7,7 @@ import pytest
 from repro.analysis import figures
 from repro.core import schemes
 from repro.oram.config import BucketGeometry, OramConfig, override_levels, uniform_geometry
+from repro.oram.recovery import RobustnessConfig
 from repro.oram.validate import (
     ERROR,
     INFO,
@@ -14,6 +15,7 @@ from repro.oram.validate import (
     UnsoundConfigError,
     assert_sound,
     diagnose,
+    diagnose_robustness,
 )
 
 
@@ -125,3 +127,59 @@ class TestFiguresApi:
     def test_scaled_levels_supported(self):
         rows = figures.fig8_space(levels=10)
         assert len(rows) == 5
+
+
+class TestDiagnoseRobustness:
+    def _codes(self, findings):
+        return {f.code for f in findings}
+
+    def test_no_policy_no_faults_is_clean(self):
+        assert diagnose_robustness(None) == []
+
+    def test_faults_without_policy_is_error(self):
+        findings = diagnose_robustness(None, faults_enabled=True)
+        assert self._codes(findings) == {"faults-unguarded"}
+        assert findings[0].severity == ERROR
+
+    def test_zero_retries_with_quarantine_warns(self):
+        findings = diagnose_robustness(
+            RobustnessConfig(integrity=True, retry_budget=0),
+            faults_enabled=True,
+        )
+        assert "retry-zero" in self._codes(findings)
+
+    def test_zero_retries_without_quarantine_is_error(self):
+        findings = diagnose_robustness(
+            RobustnessConfig(integrity=True, retry_budget=0,
+                             quarantine=False),
+            faults_enabled=True,
+        )
+        by_code = {f.code: f for f in findings}
+        assert by_code["no-recovery"].severity == ERROR
+
+    def test_faults_without_integrity_warns(self):
+        findings = diagnose_robustness(
+            RobustnessConfig(integrity=False), faults_enabled=True,
+        )
+        assert "faults-without-integrity" in self._codes(findings)
+
+    def test_long_integrity_run_without_checkpoint_warns(self):
+        findings = diagnose_robustness(
+            RobustnessConfig(integrity=True),
+            n_requests=50_000, checkpoint_every=0,
+        )
+        assert "integrity-no-checkpoint" in self._codes(findings)
+
+    def test_checkpointed_long_run_is_clean(self):
+        findings = diagnose_robustness(
+            RobustnessConfig(integrity=True),
+            n_requests=50_000, checkpoint_every=1000,
+        )
+        assert "integrity-no-checkpoint" not in self._codes(findings)
+
+    def test_zero_backoff_with_retries_warns(self):
+        findings = diagnose_robustness(
+            RobustnessConfig(integrity=True, backoff_base_ns=0.0),
+            faults_enabled=True,
+        )
+        assert "backoff-zero" in self._codes(findings)
