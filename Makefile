@@ -48,19 +48,21 @@ lint:
 	  $(PYTHON) tools/lint.py src tests benchmarks examples tools; \
 	fi
 
-# CI smoke: seconds-scale perf matrix + soft-gated comparison against
-# the committed baseline.
+# CI smoke: seconds-scale perf matrix (two workers: also exercises the
+# parallel executor) + soft-gated comparison against the committed
+# baseline. Scratch reports live under generated/ (gitignored).
 perf-smoke:
-	$(PYTHON) -m repro perf run --smoke --out BENCH_perf_new.json
+	$(PYTHON) -m repro perf run --smoke --workers 2 \
+	  --out generated/BENCH_perf_new.json
 	$(PYTHON) -m repro perf compare \
-	  benchmarks/baselines/BENCH_perf_smoke.json BENCH_perf_new.json \
-	  --warn-only
+	  benchmarks/baselines/BENCH_perf_smoke.json \
+	  generated/BENCH_perf_new.json --warn-only
 
 # CI robustness smoke: fault-injection campaign; fails unless every
 # tampering fault (bit flip, replay) was detected. Fully deterministic.
 faults-smoke:
-	$(PYTHON) -m repro faults run --smoke --out BENCH_faults.json \
-	  --require-detection
+	$(PYTHON) -m repro faults run --smoke \
+	  --out generated/BENCH_faults.json --require-detection
 
 # Mirror of the CI pipeline: lint, tier-1 tests, perf + faults smoke.
 ci: lint test perf-smoke faults-smoke
@@ -68,7 +70,7 @@ ci: lint test perf-smoke faults-smoke
 # Removes only regenerated artifacts. Committed reference outputs
 # (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.
 clean:
-	rm -rf benchmarks/generated .pytest_cache .ruff_cache
+	rm -rf benchmarks/generated generated .pytest_cache .ruff_cache
 	rm -f BENCH_perf_new.json BENCH_faults.json test_output.txt \
 	  bench_output.txt
 	find . -name __pycache__ -type d -exec rm -rf {} +

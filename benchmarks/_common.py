@@ -15,6 +15,8 @@ Environment knobs:
   (default: a third of the trace)
 - ``REPRO_BENCH_SUITE``    comma-separated benchmark subset (default:
   a representative 6-benchmark slice; set to "all" for the full 17)
+- ``REPRO_BENCH_WORKERS``  process-pool width for sweep cells
+  (default 1 = serial; results are identical at any width)
 
 Each benchmark prints its paper-style rows (run pytest with ``-s`` to
 see them live) and also writes them to ``benchmarks/generated/<name>.txt``
@@ -59,6 +61,10 @@ def bench_warmup() -> int:
     return int(os.environ.get("REPRO_BENCH_WARMUP", str(default)))
 
 
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
 def bench_suite() -> List[str]:
     raw = os.environ.get("REPRO_BENCH_SUITE")
     if not raw:
@@ -89,6 +95,7 @@ def run_main_matrix(
         n_requests=bench_requests(),
         seed=seed,
         sim=sim_config(seed),
+        workers=bench_workers(),
     )
 
 

@@ -13,12 +13,17 @@ Commands:
 - ``doctor``   -- validate configurations against the soundness rules;
 - ``figures``  -- regenerate the paper's analytic (space-side) figures;
 - ``perf``     -- the performance harness: ``perf run [--smoke]``
-  emits a machine-readable BENCH_perf.json, ``perf compare`` diffs two
-  reports and fails on throughput regressions (the CI gate);
+  emits a machine-readable report (default generated/BENCH_perf.json),
+  ``perf compare`` diffs two reports and fails on throughput
+  regressions (the CI gate);
 - ``faults``   -- the robustness harness: ``faults run [--smoke]``
   sweeps fault kind x rate against the integrity-verified data path
-  and emits BENCH_faults.json; ``--require-detection`` fails unless
-  every tampering fault was caught (the CI gate).
+  and emits generated/BENCH_faults.json; ``--require-detection`` fails
+  unless every tampering fault was caught (the CI gate).
+
+``sweep``, ``perf run`` and ``faults run`` all accept ``--workers N``
+to fan their independent cells over a process pool; the deterministic
+report content never depends on the worker count.
 
 Every command prints the same text tables the benchmarks emit, so the
 CLI doubles as a quick reproduction console.
@@ -27,6 +32,7 @@ CLI doubles as a quick reproduction console.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -73,6 +79,14 @@ def cmd_space(args: argparse.Namespace) -> int:
         title="Space utilization",
     ))
     return 0
+
+
+def _ensure_out_dir(path: str) -> None:
+    """Create the report's parent directory (default outs live under
+    ``generated/``, which is gitignored scratch space)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
 
 def _make_trace(suite: str, bench: str, n_blocks: int, requests: int,
@@ -165,6 +179,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         n_requests=args.requests,
         seed=args.seed,
         sim=SimConfig(seed=args.seed, warmup_requests=args.warmup),
+        workers=args.workers,
     )
     baseline = cfgs[0].name
     base = results[baseline]
@@ -253,8 +268,9 @@ def cmd_perf_run(args: argparse.Namespace) -> int:
     if args.repeats is not None:
         overrides["repeats"] = args.repeats
     cfg = factory(progress=lambda msg: print(msg, file=sys.stderr),
-                  **overrides)
+                  workers=args.workers, **overrides)
     doc = run_perf(cfg)
+    _ensure_out_dir(args.out)
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=1, sort_keys=True)
         f.write("\n")
@@ -307,7 +323,7 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
         overrides["integrity"] = False
     try:
         cfg = factory(progress=lambda msg: print(msg, file=sys.stderr),
-                      **overrides)
+                      workers=args.workers, **overrides)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -317,6 +333,7 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
         for e in errors:
             print(f"error: report self-check failed: {e}", file=sys.stderr)
         return 2
+    _ensure_out_dir(args.out)
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=1, sort_keys=True)
         f.write("\n")
@@ -326,6 +343,11 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
         bad = []
         for cell in doc["cells"]:
             if cell["fault"] not in _TAMPER_KINDS:
+                continue
+            if "error" in cell:
+                # An errored tampering cell means detection went
+                # unverified; that is a gap, not a pass.
+                bad.append(f"{cell['fault']}@{cell['rate']:g}: cell errored")
                 continue
             if cell["undetected"] or cell["detected"] != cell["injected"]:
                 bad.append(
@@ -421,6 +443,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=800)
     p.add_argument("--warmup", type=int, default=250)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width for the matrix cells "
+                        "(results are identical to --workers 1)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("figures", help="regenerate analytic figures")
@@ -442,8 +467,13 @@ def build_parser() -> argparse.ArgumentParser:
     pr = perf_sub.add_parser("run", help="run the perf matrix")
     pr.add_argument("--smoke", action="store_true",
                     help="seconds-scale matrix for CI")
-    pr.add_argument("--out", default="BENCH_perf.json",
-                    help="report path (default: BENCH_perf.json)")
+    pr.add_argument("--out", default="generated/BENCH_perf.json",
+                    help="report path (default: generated/BENCH_perf.json; "
+                         "the directory is created if missing)")
+    pr.add_argument("--workers", type=int, default=1,
+                    help="process-pool width for the matrix cells; the "
+                         "sim blocks are identical to --workers 1, only "
+                         "wall_s/accesses_per_s are host-dependent")
     pr.add_argument("--schemes", nargs="+", default=None,
                     choices=ALL_SCHEMES)
     pr.add_argument("--benchmarks", nargs="+", default=None)
@@ -470,8 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
     fr = faults_sub.add_parser("run", help="sweep fault kind x rate")
     fr.add_argument("--smoke", action="store_true",
                     help="seconds-scale campaign for CI")
-    fr.add_argument("--out", default="BENCH_faults.json",
-                    help="report path (default: BENCH_faults.json)")
+    fr.add_argument("--out", default="generated/BENCH_faults.json",
+                    help="report path (default: generated/BENCH_faults.json; "
+                         "the directory is created if missing)")
+    fr.add_argument("--workers", type=int, default=1,
+                    help="process-pool width for the kind x rate cells; "
+                         "the report is byte-identical to --workers 1")
     fr.add_argument("--kinds", nargs="+", default=None,
                     choices=list(FAULT_KINDS))
     fr.add_argument("--rates", nargs="+", type=float, default=None,

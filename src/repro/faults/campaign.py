@@ -21,6 +21,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core import schemes as schemes_mod
 from repro.faults.plan import FAULT_KINDS, FaultPlan
+from repro.parallel.executor import Cell, report_progress, run_cells
 from repro.faults.schema import REPORT_KIND, SCHEMA_VERSION
 from repro.oram.recovery import RobustnessConfig
 from repro.oram.validate import diagnose_robustness
@@ -49,6 +50,10 @@ class CampaignConfig:
     integrity: bool = True
     max_outage_ops: int = 2
     smoke: bool = False
+    #: Process-pool width for the kind x rate cells. Not part of
+    #: to_dict(): the report's config block describes the sweep's
+    #: *content*, which worker count must never change.
+    workers: int = 1
     progress: Any = field(default=None, repr=False)  # callable(str)
 
     def __post_init__(self) -> None:
@@ -175,8 +180,33 @@ def _cell(
     }
 
 
+def _campaign_cell_task(payload: Any) -> Dict[str, Any]:
+    """One (kind, rate) cell, runnable in-process or in a spawn worker.
+
+    Returns the finished report cell; the baseline's exec_ns rides in
+    the payload so workers never need shared state.
+    """
+    cfg, kind, rate, baseline_exec_ns = payload
+    report_progress(f"injecting {kind} at rate {rate:g} ...")
+    plan = FaultPlan(
+        seed=cfg.seed,
+        rates={kind: float(rate)},
+        max_outage_ops=cfg.max_outage_ops,
+    )
+    result = _run_one(cfg, plan)
+    return _cell(kind, rate, result, baseline_exec_ns)
+
+
 def run_campaign(cfg: Optional[CampaignConfig] = None) -> Dict[str, Any]:
-    """Run the sweep of ``cfg`` and return the report document."""
+    """Run the sweep of ``cfg`` and return the report document.
+
+    The fault-free baseline always runs first (serially -- every cell
+    normalizes against it); ``cfg.workers > 1`` then fans the kind x
+    rate cells over a spawn pool. The report contains no wall-clock
+    fields, so serial and parallel runs emit byte-identical JSON. A
+    cell whose worker raises -- or dies outright -- becomes an
+    ``{"fault", "rate", "error"}`` entry instead of aborting the sweep.
+    """
     cfg = cfg or full_config()
     doctor = diagnose_robustness(
         _robustness(cfg), n_requests=cfg.n_requests, faults_enabled=True
@@ -192,18 +222,29 @@ def run_campaign(cfg: Optional[CampaignConfig] = None) -> Dict[str, Any]:
         "seals": int(base_ds.get("seals", 0)),
         "opens": int(base_ds.get("opens", 0)),
     }
+    # What ships to workers must be progress-free (callbacks do not
+    # pickle; report_progress routes through the pool's queue).
+    worker_cfg = replace(cfg, progress=None, workers=1)
+    pairs = [(kind, rate) for kind in cfg.kinds for rate in cfg.rates]
+    outputs = run_cells(
+        _campaign_cell_task,
+        [
+            Cell(f"{kind}@{rate:g}", (worker_cfg, kind, rate, baseline["exec_ns"]))
+            for kind, rate in pairs
+        ],
+        workers=cfg.workers,
+        progress=cfg.progress,
+    )
     cells: List[Dict[str, Any]] = []
-    for kind in cfg.kinds:
-        for rate in cfg.rates:
-            if cfg.progress is not None:
-                cfg.progress(f"injecting {kind} at rate {rate:g} ...")
-            plan = FaultPlan(
-                seed=cfg.seed,
-                rates={kind: float(rate)},
-                max_outage_ops=cfg.max_outage_ops,
-            )
-            result = _run_one(cfg, plan)
-            cells.append(_cell(kind, rate, result, baseline["exec_ns"]))
+    for (kind, rate), res in zip(pairs, outputs):
+        if res.ok:
+            cells.append(res.value)
+        else:
+            cells.append({
+                "fault": kind,
+                "rate": float(rate),
+                "error": res.error,
+            })
     return {
         "kind": REPORT_KIND,
         "schema_version": SCHEMA_VERSION,

@@ -13,7 +13,11 @@ def render_report(doc: Dict[str, Any]) -> str:
     cfg = doc["config"]
     base = doc["baseline"]
     rows = []
+    errored = []
     for cell in doc["cells"]:
+        if "error" in cell:
+            errored.append(cell)
+            continue
         rows.append({
             "cell": cell_key(cell),
             "inj": cell["injected"],
@@ -36,8 +40,15 @@ def render_report(doc: Dict[str, Any]) -> str:
         f"seed={cfg['seed']} integrity={'on' if cfg['integrity'] else 'off'} "
         f"| baseline exec_ns={base['exec_ns']:.0f}"
     )
-    table = render_mapping_table(rows, title=title)
-    lines = [table]
+    if rows:
+        lines = [render_mapping_table(rows, title=title)]
+    else:
+        lines = [f"{title}\n(no completed cells)"]
+    for cell in errored:
+        first = str(cell["error"]).strip().splitlines()
+        lines.append(
+            f"ERROR {cell_key(cell)}: {first[0] if first else 'cell failed'}"
+        )
     if doc.get("doctor"):
         lines.append("doctor findings:")
         lines.extend(f"  {finding}" for finding in doc["doctor"])

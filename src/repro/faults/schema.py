@@ -35,6 +35,15 @@ One cell per (fault kind, rate) pair::
 ``detection_rate`` divides by *observed* faults (detected +
 undetected): masked dropped writes (overwritten before any read) and
 latent ones (never touched again) are excluded by construction.
+
+A cell whose worker failed (crashed process, raised exception) is
+recorded as an *error cell* instead of silently shrinking the sweep::
+
+    { "fault": "bit_flip", "rate": 0.01, "error": "<traceback or note>" }
+
+Error cells validate against that three-field shape only; the
+``--require-detection`` CI gate treats an errored tampering cell as a
+detection gap, never as a pass.
 """
 
 from __future__ import annotations
@@ -89,6 +98,12 @@ _CELL_FIELDS = {
     "exec_ns": (int, float),
     "overhead_x": (int, float),
     "stash_peak": int,
+}
+
+_ERROR_CELL_FIELDS = {
+    "fault": str,
+    "rate": (int, float),
+    "error": str,
 }
 
 
@@ -152,7 +167,16 @@ def validate_report(doc: Any) -> List[str]:
         if not isinstance(cell, dict):
             errors.append(f"{where}: not an object")
             continue
-        _check_fields(cell, _CELL_FIELDS, where, errors)
+        if "error" in cell:
+            _check_fields(cell, _ERROR_CELL_FIELDS, where, errors)
+        else:
+            _check_fields(cell, _CELL_FIELDS, where, errors)
+            det = cell.get("detection_rate")
+            if isinstance(det, (int, float)) and not isinstance(det, bool):
+                if not 0.0 <= det <= 1.0:
+                    errors.append(
+                        f"{where}: detection_rate must be in [0, 1], got {det}"
+                    )
         key = (cell.get("fault"), cell.get("rate"))
         if key in seen:
             errors.append(f"{where}: duplicate cell {key}")
@@ -161,12 +185,6 @@ def validate_report(doc: Any) -> List[str]:
         if isinstance(rate, (int, float)) and not isinstance(rate, bool):
             if not 0.0 <= rate <= 1.0:
                 errors.append(f"{where}: rate must be in [0, 1], got {rate}")
-        det = cell.get("detection_rate")
-        if isinstance(det, (int, float)) and not isinstance(det, bool):
-            if not 0.0 <= det <= 1.0:
-                errors.append(
-                    f"{where}: detection_rate must be in [0, 1], got {det}"
-                )
     return errors
 
 

@@ -21,8 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-import numpy as np
-
 from repro.mem.address_map import AddressMapping
 from repro.mem.timing import DDR3_1600, DramTiming
 
@@ -76,12 +74,25 @@ class DramModel:
         self._last_was_write = [False] * mapping.n_channels
         self._refresh_epoch = [0] * mapping.n_channels
         self.stats = DramStats()
-        self.channel_busy_ns = np.zeros(mapping.n_channels, dtype=np.float64)
-        # Address-decomposition constants hoisted out of the hot loop.
+        # Plain list, not ndarray: one scalar += per access makes numpy
+        # boxing measurable at millions of requests.
+        self.channel_busy_ns = [0.0] * mapping.n_channels
+        # Address-decomposition and timing constants hoisted out of the
+        # hot loop (dataclass attribute fetches add up per request).
         self._line_bytes = mapping.line_bytes
         self._n_channels = mapping.n_channels
         self._lines_per_row = mapping.lines_per_row
         self._n_banks = mapping.n_banks
+        self._t_refi = timing.t_refi
+        self._t_rp = timing.t_rp
+        self._t_rrd = timing.t_rrd
+        self._t_rcd = timing.t_rcd
+        self._t_cas = timing.t_cas
+        self._t_cwd = timing.t_cwd
+        self._t_wtr = timing.t_wtr
+        self._t_rtw = timing.t_rtw
+        self._t_wr = timing.t_wr
+        self._burst_ns = timing.burst_ns
 
     def _apply_refresh(self, channel: int, arrival_ns: float) -> None:
         """Lazily account refreshes due on ``channel`` before ``arrival_ns``.
@@ -108,7 +119,6 @@ class DramModel:
 
     def access(self, byte_addr: int, write: bool, arrival_ns: float) -> float:
         """Service one 64B request; returns its completion time (ns)."""
-        t = self.timing
         # Inline address decomposition (see AddressMapping.decompose);
         # this runs once per simulated memory request.
         line = byte_addr // self._line_bytes
@@ -116,31 +126,34 @@ class DramModel:
         rest = (line // self._n_channels) // self._lines_per_row
         bank = rest % self._n_banks
         row = rest // self._n_banks
-        if t.t_refi > 0 and arrival_ns >= (self._refresh_epoch[channel] + 1) * t.t_refi:
+        t_refi = self._t_refi
+        if t_refi > 0 and arrival_ns >= (self._refresh_epoch[channel] + 1) * t_refi:
             self._apply_refresh(channel, arrival_ns)
         bank_idx = channel * self._n_banks + bank
         row_hit = self._open_row[bank_idx] == row
         bank_ready = self._bank_ready[bank_idx]
         if row_hit:
             col_ready = arrival_ns if arrival_ns > bank_ready else bank_ready
-            ready = col_ready + (t.t_cwd if write else t.t_cas)
+            ready = col_ready + (self._t_cwd if write else self._t_cas)
         else:
             # Precharge, then an activate constrained by the channel's
             # activation rate (tRRD / tFAW window).
-            precharged = (arrival_ns if arrival_ns > bank_ready else bank_ready) + t.t_rp
-            rated = self._last_activate[channel] + t.t_rrd
+            precharged = (
+                arrival_ns if arrival_ns > bank_ready else bank_ready
+            ) + self._t_rp
+            rated = self._last_activate[channel] + self._t_rrd
             activate = precharged if precharged > rated else rated
             self._last_activate[channel] = activate
-            ready = activate + t.t_rcd + (t.t_cwd if write else t.t_cas)
+            ready = activate + self._t_rcd + (self._t_cwd if write else self._t_cas)
         bus_free = self._bus_free[channel]
         prev_write = self._last_was_write[channel]
         if prev_write != write:
-            bus_free += t.t_wtr if prev_write else t.t_rtw
+            bus_free += self._t_wtr if prev_write else self._t_rtw
         burst_start = ready if ready > bus_free else bus_free
-        completion = burst_start + t.burst_ns
+        completion = burst_start + self._burst_ns
         self._bus_free[channel] = completion
         self._last_was_write[channel] = write
-        self._bank_ready[bank_idx] = completion + (t.t_wr if write else 0.0)
+        self._bank_ready[bank_idx] = completion + (self._t_wr if write else 0.0)
         self._open_row[bank_idx] = row
         self.channel_busy_ns[channel] += completion - burst_start
         st = self.stats

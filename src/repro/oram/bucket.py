@@ -94,6 +94,15 @@ class BucketStore:
         # is measurable at one ``level()``/``z_phys()`` per slot touch.
         self._level_list: List[int] = self.level_of_bucket.tolist()
         self._z_list: List[int] = self.z_of_bucket.tolist()
+        self._sustain_list: List[int] = [
+            g.sustain_unextended for g in cfg.geometry
+        ]
+        # True once any slot has ever entered the remote-allocation
+        # lifecycle (QUEUED / IN_USE). While False, every slot of every
+        # bucket is usable at reshuffle and no DeadQ generation bumps
+        # are needed, which lets ``refresh`` skip the status scans
+        # entirely. Flipped by ``set_status`` and never cleared.
+        self.has_lifecycle = False
 
     # ------------------------------------------------------------ geometry
 
@@ -169,6 +178,17 @@ class BucketStore:
     def real_count(self, bucket: int) -> int:
         return int(self.valid_real_slots(bucket).size)
 
+    def resident_blocks(self, bucket: int) -> np.ndarray:
+        """Real block ids stored in ``bucket``, in ascending slot order.
+
+        The content-only companion of :meth:`valid_real_slots` for
+        callers that never need the slot indices (reshuffle resident
+        collection); skips the scan cache since its callers mutate the
+        bucket right afterwards anyway.
+        """
+        row = self.slots[bucket, : self._z_list[bucket]]
+        return row[row >= 0]
+
     def usable_slots(self, bucket: int) -> np.ndarray:
         """Slots this bucket may rewrite at reshuffle (not rented out)."""
         c, hit = self._cached(bucket, "usable")
@@ -197,9 +217,11 @@ class BucketStore:
 
     def consume(self, bucket: int, slot: int) -> int:
         """Read a slot: return its content, mark it consumed/dead."""
-        z = self.z_phys(bucket)
-        if not 0 <= slot < z:
-            raise ValueError(f"slot {slot} out of range for bucket {bucket} (Z={z})")
+        if not 0 <= slot < self._z_list[bucket]:
+            raise ValueError(
+                f"slot {slot} out of range for bucket {bucket} "
+                f"(Z={self._z_list[bucket]})"
+            )
         content = int(self.slots[bucket, slot])
         if content in (CONSUMED, UNALLOCATED):
             raise RuntimeError(
@@ -226,6 +248,30 @@ class BucketStore:
         ``len(real_blocks) <= z_real`` and that enough usable slots
         exist (checked here).
         """
+        z = self._z_list[bucket]
+        if not self.has_lifecycle:
+            # No slot anywhere has ever been QUEUED/IN_USE, so every
+            # slot is usable and there are no DeadQ generations to
+            # bump: skip the status scans outright. This is the
+            # steady-state path for ring/CB/NS configurations.
+            if len(real_blocks) > z:
+                raise RuntimeError(
+                    f"bucket {bucket}: {len(real_blocks)} real blocks but "
+                    f"only {z} usable slots"
+                )
+            row = self.slots[bucket]
+            row[:z] = DUMMY
+            for i, blk in enumerate(real_blocks):
+                row[i] = blk
+            self.status[bucket, :z] = ST_REFRESHED
+            self.count[bucket] = 0
+            self._scan_cache.pop(bucket, None)
+            lvl = self._level_list[bucket]
+            self.sustain[bucket] = (
+                min(self._sustain_list[lvl], z) + granted_extension
+            )
+            self.reshuffles_by_level[lvl] += 1
+            return list(range(z))
         usable = self.usable_slots(bucket)
         n_usable = int(usable.size)
         if len(real_blocks) > n_usable:
@@ -233,7 +279,6 @@ class BucketStore:
                 f"bucket {bucket}: {len(real_blocks)} real blocks but only "
                 f"{n_usable} usable slots"
             )
-        z = self._z_list[bucket]
         if n_usable == z:
             # Common case (no slot rented out): contiguous slice writes
             # instead of fancy indexing.
@@ -260,12 +305,11 @@ class BucketStore:
         self.count[bucket] = 0
         self._scan_cache.pop(bucket, None)
         lvl = self._level_list[bucket]
-        base = self.cfg.geometry[lvl]
         # Every sustained read consumes a distinct valid slot, so the
         # policy sustain (S + Y) is capped by the slots actually
         # refreshed; remote extension adds slots beyond the bucket.
         self.sustain[bucket] = (
-            min(base.sustain_unextended, n_usable) + granted_extension
+            min(self._sustain_list[lvl], n_usable) + granted_extension
         )
         self.reshuffles_by_level[lvl] += 1
         return written
@@ -275,6 +319,8 @@ class BucketStore:
 
     def set_status(self, bucket: int, slot: int, status: SlotStatus) -> None:
         self.status[bucket, slot] = status
+        if status in (SlotStatus.QUEUED, SlotStatus.IN_USE):
+            self.has_lifecycle = True
         self._scan_cache.pop(bucket, None)
 
     def get_status(self, bucket: int, slot: int) -> SlotStatus:

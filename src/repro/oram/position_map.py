@@ -54,6 +54,16 @@ class PositionMap:
         self._check(block)
         return int(self._leaf[block])
 
+    def peek_many(self, blocks: np.ndarray) -> np.ndarray:
+        """Leaves of several blocks at once (vectorized :meth:`peek`).
+
+        Like ``peek``, does not count lookups; entries for untouched
+        blocks come back ``UNMAPPED``. No per-element range check --
+        callers pass ids read out of the tree, which are valid by
+        construction.
+        """
+        return self._leaf[blocks]
+
     def remap(self, block: int) -> int:
         """Assign and return a fresh uniformly random leaf for ``block``."""
         self._check(block)

@@ -113,6 +113,7 @@ class RingOram:
         self._quarantined: Dict[int, None] = {}   # insertion-ordered set
         self._rebuilding: Optional[int] = None
         self.evict_counter = 0
+        self._z_real_by_level = [g.z_real for g in cfg.geometry]
         self.online_accesses = 0       # real + stash-hit accesses (paper's X axis)
         self.accesses_since_evict = 0
         self.background_accesses = 0
@@ -290,6 +291,9 @@ class RingOram:
         # and issued as one batch (same order, one phase transition).
         reads: List[Tuple[int, int, int, bool]] = []
         sink_items: List[Tuple[int, int, int, bool, bool]] = []
+        integers = self.rng.integers
+        observers = self.observers
+        consume = store.consume
         for lv, b in enumerate(buckets):
             if b == target_bucket:
                 if target_remote is not None:
@@ -308,9 +312,21 @@ class RingOram:
                     reads.append((b, target_slot, lv, False))
                 self.stash.add(blockval, self.posmap.peek(blockval))
                 continue
+            n_d = dcounts[lv]
+            if n_d and ext is None:
+                # Plain valid-dummy read with no remote slots in play:
+                # the overwhelmingly common case, inlined (same draws
+                # and touches as _read_nontarget's dummy branch).
+                slot = dummy_slot[dstarts[lv] + int(integers(n_d))]
+                consume(b, slot)
+                for obs in observers:
+                    obs.on_slot_dead(b, slot, lv)
+                sink_items.append((b, slot, lv, lv < treetop, False))
+                reads.append((b, slot, lv, False))
+                continue
             self._read_nontarget(
                 b, lv, reads, sink_items,
-                dcounts[lv],
+                n_d,
                 dummy_slot[dstarts[lv]:dstarts[lv + 1]],
                 rows[lv],
             )
@@ -320,8 +336,8 @@ class RingOram:
         sink.end_op()
         for obs in self.observers:
             obs.on_read_path(leaf, reads, target_bucket)
-        needs = store.needs_reshuffle
-        return [b for b in buckets if needs(b)]
+        due = (store.count[bks] >= store.sustain[bks]).tolist()
+        return [b for b, d in zip(buckets, due) if d]
 
     def _read_nontarget(
         self,
@@ -419,6 +435,17 @@ class RingOram:
         whose rental round ends here.
         """
         store = self.store
+        if self.ext is None and self.datastore is None:
+            # No payloads to capture, no remote rentals to reclaim:
+            # pull the resident ids straight out of the bucket row and
+            # label them with one vectorized position-map gather. Same
+            # ascending-slot insertion order as the general path.
+            blocks = store.resident_blocks(b)
+            if blocks.size:
+                self.stash.add_many(
+                    blocks.tolist(), self.posmap.peek_many(blocks).tolist()
+                )
+            return
         resident_slots = store.valid_real_slots(b)
         residents = [int(x) for x in store.row(b)[resident_slots]]
         if self.datastore is not None:
@@ -504,10 +531,8 @@ class RingOram:
                              blocks=self.metadata_blocks)
         # Read phase: Z' reads (valid real blocks padded with dummies --
         # the read count, not the real count, is what memory sees).
-        sink.data_access_many(
-            [(b, 0, lv, onchip, False)] * cfg.geometry[lv].z_real,
-            write=False,
-        )
+        sink.data_access_repeat(b, 0, lv, self._z_real_by_level[lv],
+                                write=False, onchip=onchip)
         self._collect_residents(b)
         self._refill_bucket(b, lv)
         sink.metadata_access(b, lv, write=True, onchip=onchip,
@@ -526,23 +551,24 @@ class RingOram:
         buckets = tree_mod.path_buckets(leaf, cfg.levels)
         sink.begin_op(OpKind.EVICT_PATH)
         # Read phase: Z' reads per bucket; reals move to the stash.
-        for b in buckets:
-            lv = store.level(b)
-            onchip = lv < cfg.treetop_levels
+        # ``buckets`` holds one bucket per level, root first, so the
+        # enumeration index is the level.
+        z_real = self._z_real_by_level
+        treetop = cfg.treetop_levels
+        mblocks = self.metadata_blocks
+        for lv, b in enumerate(buckets):
+            onchip = lv < treetop
             sink.metadata_access(b, lv, write=False, onchip=onchip,
-                                 blocks=self.metadata_blocks)
-            sink.data_access_many(
-                [(b, 0, lv, onchip, False)] * cfg.geometry[lv].z_real,
-                write=False,
-            )
+                                 blocks=mblocks)
+            sink.data_access_repeat(b, 0, lv, z_real[lv],
+                                    write=False, onchip=onchip)
             self._collect_residents(b)
         # Write phase: leaf to root, greedy deepest placement.
-        for b in reversed(buckets):
-            lv = store.level(b)
+        for lv in range(cfg.levels - 1, -1, -1):
+            b = buckets[lv]
             self._refill_bucket(b, lv)
-            sink.metadata_access(b, lv, write=True,
-                                 onchip=lv < cfg.treetop_levels,
-                                 blocks=self.metadata_blocks)
+            sink.metadata_access(b, lv, write=True, onchip=lv < treetop,
+                                 blocks=mblocks)
         sink.end_op()
         for obs in self.observers:
             obs.on_evict_path(leaf)
@@ -560,6 +586,27 @@ class RingOram:
         store = self.store
         sink = self.sink
         onchip = lv < cfg.treetop_levels
+        if (self.ext is None and self.datastore is None
+                and not self.observers and not store.has_lifecycle):
+            # Fast path (ring/CB/NS steady state): no remote slots, so
+            # every one of the bucket's Z slots is usable, the scatter
+            # positions cannot route a block off-bucket, and the whole
+            # refill is one stash sweep + one array rewrite + one
+            # batched sink call. The scatter draw itself is kept (its
+            # result is irrelevant without remote hosts, but skipping
+            # it would shift the RNG stream off the general path).
+            z = store.z_phys(b)
+            z_real = self._z_real_by_level[lv]
+            capacity = z_real if z_real < z else z
+            chosen = self._pick_stash_blocks(b, lv, capacity)
+            if chosen:
+                self.rng.choice(z, size=len(chosen), replace=False)
+                remove = self.stash.remove
+                for blk in chosen:
+                    remove(blk)
+            written = store.refresh(b, chosen)
+            sink.data_access_block(b, written, lv, write=True, onchip=onchip)
+            return
         usable = store.usable_slots(b)
         reclaimed_dead: List[int] = []
         if self.observers:
@@ -634,16 +681,9 @@ class RingOram:
         """
         if capacity <= 0:
             return []
-        cfg = self.cfg
-        position = tree_mod.position_of(b)
-        shift = cfg.levels - 1 - lv
-        eligible: List[int] = []
-        for blk, blk_leaf in self.stash.blocks():
-            if (blk_leaf >> shift) == position:
-                eligible.append(blk)
-                if len(eligible) >= capacity:
-                    break
-        return eligible
+        return self.stash.pick_for_bucket(
+            tree_mod.position_of(b), self.cfg.levels - 1 - lv, capacity
+        )
 
     def _background_evict(self) -> None:
         """CB background eviction: dummy accesses until the stash drains."""

@@ -64,6 +64,27 @@ class Stash:
                 f"stash overflow: {len(self._blocks)} > capacity {self.capacity}"
             )
 
+    def add_many(self, blocks: List[int], leaves: List[int]) -> None:
+        """Bulk :meth:`add`, one occupancy/overflow check for the batch.
+
+        Semantically equivalent to adding the pairs one by one (the
+        occupancy only grows during the batch, so its peak is its final
+        value); callers guarantee non-negative block ids. On overflow
+        the whole batch is already inserted and a single overflow event
+        is recorded.
+        """
+        bm = self._blocks
+        bm.update(zip(blocks, leaves))
+        self.total_inserts += len(blocks)
+        n = len(bm)
+        if n > self.peak_occupancy:
+            self.peak_occupancy = n
+        if n > self.capacity:
+            self.overflow_events += 1
+            raise StashOverflowError(
+                f"stash overflow: {n} > capacity {self.capacity}"
+            )
+
     def remap(self, block: int, new_leaf: int) -> None:
         """Update the leaf label of a resident block."""
         if block not in self._blocks:
@@ -77,6 +98,20 @@ class Stash:
     def blocks(self) -> Iterable[Tuple[int, int]]:
         """Iterate over ``(block, leaf)`` pairs (snapshot order unspecified)."""
         return self._blocks.items()
+
+    def pick_for_bucket(self, position: int, shift: int, capacity: int) -> List[int]:
+        """Up to ``capacity`` resident blocks placeable in the bucket at
+        ``position`` of level ``levels - 1 - shift`` (their leaf path
+        crosses it, i.e. ``leaf >> shift == position``), in insertion
+        order -- the order the reshuffle refill greedy depends on.
+        """
+        found: List[int] = []
+        for block, leaf in self._blocks.items():
+            if (leaf >> shift) == position:
+                found.append(block)
+                if len(found) >= capacity:
+                    break
+        return found
 
     def candidates_for(
         self,

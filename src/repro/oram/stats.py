@@ -83,6 +83,42 @@ class MemorySink:
             self.data_access(bucket, slot, level, write,
                              onchip=onchip, remote=remote)
 
+    def data_access_repeat(
+        self,
+        bucket: int,
+        slot: int,
+        level: int,
+        count: int,
+        write: bool,
+        onchip: bool = False,
+        remote: bool = False,
+    ) -> None:
+        """``count`` identical data touches of one slot (reshuffle read
+        phases report Z' reads against slot 0). Equivalent to calling
+        :meth:`data_access` ``count`` times; hot sinks override to
+        compute the address and phase transition once.
+        """
+        for _ in range(count):
+            self.data_access(bucket, slot, level, write,
+                             onchip=onchip, remote=remote)
+
+    def data_access_block(
+        self,
+        bucket: int,
+        slots: Sequence[int],
+        level: int,
+        write: bool,
+        onchip: bool = False,
+        remote: bool = False,
+    ) -> None:
+        """Batched data touches of several slots of *one* bucket
+        (reshuffle write-back). Equivalent to one :meth:`data_access`
+        per slot in order; overrides hoist the per-bucket address base.
+        """
+        for slot in slots:
+            self.data_access(bucket, slot, level, write,
+                             onchip=onchip, remote=remote)
+
     def metadata_access_many(
         self, items: Sequence[MetaItem], write: bool, blocks: int = 1
     ) -> None:
@@ -247,6 +283,46 @@ class CountingSink(MemorySink):
         else:
             c.data_reads += n
 
+    def data_access_repeat(
+        self,
+        bucket: int,
+        slot: int,
+        level: int,
+        count: int,
+        write: bool,
+        onchip: bool = False,
+        remote: bool = False,
+    ) -> None:
+        c = self._cur_counters
+        if c is None:
+            self.unattributed_accesses += count
+            return
+        if onchip:
+            c.onchip_accesses += count
+            return
+        if remote:
+            c.remote_accesses += count
+        if write:
+            c.data_writes += count
+            self.data_writes_by_level[level] += count
+        else:
+            c.data_reads += count
+            self.data_reads_by_level[level] += count
+
+    def data_access_block(
+        self,
+        bucket: int,
+        slots: Sequence[int],
+        level: int,
+        write: bool,
+        onchip: bool = False,
+        remote: bool = False,
+    ) -> None:
+        # Same-bucket/same-level batch: the tallies only depend on the
+        # item count.
+        self.data_access_repeat(bucket, 0, level, len(slots), write,
+                                onchip=onchip, remote=remote)
+
     def metadata_access_many(
         self, items: Sequence[MetaItem], write: bool, blocks: int = 1
     ) -> None:
@@ -323,6 +399,18 @@ class TeeSink(MemorySink):
     def data_access_many(self, items, write):
         for s in self.sinks:
             s.data_access_many(items, write)
+
+    def data_access_repeat(self, bucket, slot, level, count, write,
+                           onchip=False, remote=False):
+        for s in self.sinks:
+            s.data_access_repeat(bucket, slot, level, count, write,
+                                 onchip=onchip, remote=remote)
+
+    def data_access_block(self, bucket, slots, level, write,
+                          onchip=False, remote=False):
+        for s in self.sinks:
+            s.data_access_block(bucket, slots, level, write,
+                                onchip=onchip, remote=remote)
 
     def metadata_access_many(self, items, write, blocks=1):
         for s in self.sinks:

@@ -61,6 +61,18 @@ def compare_reports(
             exit_code = EXIT_ERROR
             continue
         cur = new_cells[key]
+        if "error" in base:
+            messages.append(f"ERROR {key}: baseline cell is an error entry")
+            exit_code = EXIT_ERROR
+            continue
+        if "error" in cur:
+            first = str(cur["error"]).strip().splitlines()
+            messages.append(
+                f"ERROR {key}: cell errored in new report: "
+                f"{first[0] if first else 'cell failed'}"
+            )
+            exit_code = EXIT_ERROR
+            continue
         old_tp = float(base["accesses_per_s"])
         new_tp = float(cur["accesses_per_s"])
         if old_tp <= 0:

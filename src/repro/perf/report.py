@@ -12,7 +12,11 @@ def render_report(doc: Dict[str, Any]) -> str:
     """Text table of one report's cells."""
     cfg = doc["config"]
     rows = []
+    errored = []
     for cell in doc["cells"]:
+        if "error" in cell:
+            errored.append(cell)
+            continue
         sim = cell["sim"]
         rows.append({
             "cell": cell_key(cell),
@@ -29,4 +33,14 @@ def render_report(doc: Dict[str, Any]) -> str:
         f"requests={cfg['n_requests']} warmup={cfg['warmup_requests']} "
         f"seed={cfg['seed']}"
     )
-    return render_mapping_table(rows, title=title)
+    lines = []
+    if rows:
+        lines.append(render_mapping_table(rows, title=title))
+    else:
+        lines.append(f"{title}\n(no completed cells)")
+    for cell in errored:
+        first = str(cell["error"]).strip().splitlines()
+        lines.append(
+            f"ERROR {cell_key(cell)}: {first[0] if first else 'cell failed'}"
+        )
+    return "\n".join(lines)

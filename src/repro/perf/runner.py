@@ -17,6 +17,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import schemes as schemes_mod
+from repro.parallel.executor import Cell, report_progress, run_cells
 from repro.perf.schema import REPORT_KIND, SCHEMA_VERSION
 from repro.sim.engine import SimConfig
 from repro.sim.results import SimResult
@@ -60,9 +61,14 @@ def full_config(**overrides: Any) -> PerfConfig:
 
 
 def smoke_config(**overrides: Any) -> PerfConfig:
-    """A seconds-scale matrix for CI: two schemes, one trace."""
+    """A seconds-scale matrix for CI: three schemes, one trace.
+
+    ``ns`` is the reshuffle-heavy cell (S=1 bottom levels force early
+    reshuffles constantly), so the smoke matrix exercises the
+    vectorized reshuffle write-back path, not just steady-state reads.
+    """
     base = PerfConfig(
-        schemes=("ring", "ab"),
+        schemes=("ring", "ab", "ns"),
         benchmarks=("mcf",),
         levels=10,
         n_requests=500,
@@ -119,7 +125,6 @@ def _run_one_cell(
             warmup_requests=cfg.warmup_requests,
             seed=cfg.seed,
             sim=SimConfig(seed=cfg.seed, warmup_requests=cfg.warmup_requests),
-            workers=cfg.workers,
         )
         wall = time.perf_counter() - t0
         if best is None or wall < best:
@@ -129,21 +134,55 @@ def _run_one_cell(
     return best, result
 
 
+def _perf_cell_task(payload: Tuple[PerfConfig, str, str]) -> Dict[str, Any]:
+    """One matrix cell, runnable in-process or in a spawn worker.
+
+    Returns the finished report cell (plain JSON-able dict, so crossing
+    the process boundary never pickles a SimResult or a callback).
+    """
+    cfg, scheme_name, bench = payload
+    report_progress(f"running {scheme_name}/{bench} ...")
+    wall, result = _run_one_cell(cfg, scheme_name, bench)
+    return {
+        "scheme": scheme_name,
+        "trace": bench,
+        "wall_s": wall,
+        "accesses_per_s": cfg.n_requests / wall if wall > 0 else 0.0,
+        "sim": _sim_block(result),
+    }
+
+
 def run_perf(cfg: Optional[PerfConfig] = None) -> Dict[str, Any]:
-    """Run the matrix of ``cfg`` and return the report document."""
+    """Run the matrix of ``cfg`` and return the report document.
+
+    ``cfg.workers > 1`` fans the independent cells over a spawn pool;
+    the merged ``cells`` list keeps matrix order and its ``sim`` blocks
+    are bit-identical to a serial run (only ``wall_s`` is
+    host-dependent). A cell whose worker raises -- or dies outright --
+    becomes an ``{"scheme", "trace", "error"}`` entry instead of
+    aborting the sweep.
+    """
     cfg = cfg or full_config()
+    # What ships to workers must be progress-free (callbacks do not
+    # pickle; report_progress routes through the pool's queue) and
+    # serial inside (parallelism lives at the matrix level).
+    worker_cfg = replace(cfg, progress=None, workers=1)
+    pairs = [(s, b) for s in cfg.schemes for b in cfg.benchmarks]
+    outputs = run_cells(
+        _perf_cell_task,
+        [Cell(f"{s}/{b}", (worker_cfg, s, b)) for s, b in pairs],
+        workers=cfg.workers,
+        progress=cfg.progress,
+    )
     cells: List[Dict[str, Any]] = []
-    for scheme_name in cfg.schemes:
-        for bench in cfg.benchmarks:
-            if cfg.progress is not None:
-                cfg.progress(f"running {scheme_name}/{bench} ...")
-            wall, result = _run_one_cell(cfg, scheme_name, bench)
+    for (scheme_name, bench), res in zip(pairs, outputs):
+        if res.ok:
+            cells.append(res.value)
+        else:
             cells.append({
                 "scheme": scheme_name,
                 "trace": bench,
-                "wall_s": wall,
-                "accesses_per_s": cfg.n_requests / wall if wall > 0 else 0.0,
-                "sim": _sim_block(result),
+                "error": res.error,
             })
     return {
         "kind": REPORT_KIND,

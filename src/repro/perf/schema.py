@@ -31,6 +31,15 @@ One cell per (scheme, trace) pair::
 
 ``wall_s``/``accesses_per_s`` are what :mod:`repro.perf.compare` gates
 on; the ``sim`` block lets tests assert run-to-run determinism.
+
+A cell whose worker failed (crashed process, raised exception) is
+recorded as an *error cell* instead of silently shrinking the matrix::
+
+    { "scheme": "ring", "trace": "mcf", "error": "<traceback or note>" }
+
+Error cells validate against that three-field shape only; the compare
+gate treats a baseline cell that errored in the new report as an ERROR
+(exit 2), never as a pass.
 """
 
 from __future__ import annotations
@@ -58,6 +67,12 @@ _CELL_FIELDS = {
     "wall_s": (int, float),
     "accesses_per_s": (int, float),
     "sim": dict,
+}
+
+_ERROR_CELL_FIELDS = {
+    "scheme": str,
+    "trace": str,
+    "error": str,
 }
 
 _SIM_FIELDS = {
@@ -129,17 +144,20 @@ def validate_report(doc: Any) -> List[str]:
         if not isinstance(cell, dict):
             errors.append(f"{where}: not an object")
             continue
-        _check_fields(cell, _CELL_FIELDS, where, errors)
-        sim = cell.get("sim")
-        if isinstance(sim, dict):
-            _check_fields(sim, _SIM_FIELDS, f"{where}.sim", errors)
+        if "error" in cell:
+            _check_fields(cell, _ERROR_CELL_FIELDS, where, errors)
+        else:
+            _check_fields(cell, _CELL_FIELDS, where, errors)
+            sim = cell.get("sim")
+            if isinstance(sim, dict):
+                _check_fields(sim, _SIM_FIELDS, f"{where}.sim", errors)
+            wall = cell.get("wall_s")
+            if isinstance(wall, (int, float)) and wall <= 0:
+                errors.append(f"{where}: wall_s must be positive, got {wall}")
         key = (cell.get("scheme"), cell.get("trace"))
         if key in seen:
             errors.append(f"{where}: duplicate cell {key}")
         seen.add(key)
-        wall = cell.get("wall_s")
-        if isinstance(wall, (int, float)) and wall <= 0:
-            errors.append(f"{where}: wall_s must be positive, got {wall}")
     return errors
 
 

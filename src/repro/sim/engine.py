@@ -35,7 +35,7 @@ from repro.mem.layout import TreeLayout
 from repro.mem.timing import DDR3_1600, DramTiming
 from repro.oram.config import OramConfig
 from repro.oram.recovery import RobustnessConfig
-from repro.oram.stats import CountingSink, MemorySink, OpKind, TeeSink
+from repro.oram.stats import MemorySink, OpKind
 from repro.sim.results import SimResult
 from repro.traces.trace import Trace
 
@@ -99,7 +99,8 @@ class DramSink(MemorySink):
         self.readpath_latencies = []
         self.remote_accesses = 0
         self.dram.stats.__init__()
-        self.dram.channel_busy_ns[:] = 0.0
+        busy = self.dram.channel_busy_ns
+        busy[:] = [0.0] * len(busy)
         return self.now
 
     # ------------------------------------------------------------ sink API
@@ -140,8 +141,14 @@ class DramSink(MemorySink):
         if onchip:
             return
         arrival = self._arrival(3 if write else 0)
-        access = self.dram.access
         addr = self._meta_base + bucket * self._meta_stride
+        if blocks == 1:
+            # Common case (metadata fits one 64B line): no burst loop.
+            done = self.dram.access(addr, write, arrival)
+            if done > self._op_end:
+                self._op_end = done
+            return
+        access = self.dram.access
         end = self._op_end
         for _ in range(blocks):
             done = access(addr, write, arrival)
@@ -174,18 +181,67 @@ class DramSink(MemorySink):
                 end = done
         self._op_end = end
 
+    def data_access_repeat(self, bucket, slot, level, count, write,
+                           onchip=False, remote=False):
+        if onchip or count <= 0:
+            # Empty/on-chip batches must leave the phase untouched,
+            # exactly like data_access_many over the same items.
+            return
+        arrival = self._arrival(2 if write else 1)
+        if remote:
+            self.remote_accesses += count
+        access = self.dram.access
+        addr = self._data_base + self._data_off[bucket] + slot * self._block_bytes
+        end = self._op_end
+        for _ in range(count):
+            done = access(addr, write, arrival)
+            if done > end:
+                end = done
+        self._op_end = end
+
+    def data_access_block(self, bucket, slots, level, write,
+                          onchip=False, remote=False):
+        if onchip or not slots:
+            return
+        arrival = self._arrival(2 if write else 1)
+        if remote:
+            self.remote_accesses += len(slots)
+        access = self.dram.access
+        base = self._data_base + self._data_off[bucket]
+        bb = self._block_bytes
+        end = self._op_end
+        for slot in slots:
+            done = access(base + slot * bb, write, arrival)
+            if done > end:
+                end = done
+        self._op_end = end
+
     def metadata_access_many(self, items, write, blocks=1):
         arrival = None
         access = self.dram.access
+        base = self._meta_base
+        stride = self._meta_stride
         bb = self._block_bytes
         end = self._op_end
+        if blocks == 1:
+            for bucket, level, onchip in items:
+                if onchip:
+                    continue
+                if arrival is None:
+                    arrival = self._arrival(3 if write else 0)
+                    end = self._op_end
+                done = access(base + bucket * stride, write, arrival)
+                if done > end:
+                    end = done
+            self._op_end = end
+            return
         for bucket, level, onchip in items:
             if onchip:
                 continue
             if arrival is None:
                 arrival = self._arrival(3 if write else 0)
                 end = self._op_end
-            addr = self._meta_base + bucket * self._meta_stride
+            addr = base + bucket * stride
             for _ in range(blocks):
                 done = access(addr, write, arrival)
                 if done > end:
@@ -251,7 +307,6 @@ class Simulation:
         self.cfg = cfg
         self.trace = trace
         self.sim = sim
-        self.counting = CountingSink(cfg.levels)
         # The layout must account for the scheme's metadata record width.
         from repro.core.ab_oram import needs_extensions
         from repro.oram import metadata as md
@@ -262,7 +317,12 @@ class Simulation:
         layout = TreeLayout(cfg, metadata_blocks=md.metadata_blocks(cfg, fields))
         self.dram = DramModel(sim.timing, sim.mapping)
         self.dram_sink = DramSink(layout, self.dram)
-        sink = TeeSink(self.counting, self.dram_sink)
+        # The controller talks straight to the DramSink: SimResult's
+        # op/time breakdown comes from the sink itself, and a tee'd
+        # CountingSink would cost one extra dispatch per memory touch.
+        # Drivers that want protocol tallies attach their own
+        # TeeSink(CountingSink(...), DramSink(...)) to a RingOram.
+        sink = self.dram_sink
         robustness = sim.robustness
         if robustness is None and sim.fault_plan is not None:
             robustness = RobustnessConfig(integrity=True)
@@ -315,7 +375,6 @@ class Simulation:
             return False
         if i == self.sim.warmup_requests and i > 0:
             self._measure_start = self.dram_sink.reset_measurement()
-            self.counting.reset()
             self._counted_from = i
         self.dram_sink.advance(self.trace.cpu_gap_ns)
         req = self.trace.requests[i]

@@ -13,10 +13,10 @@ boundaries, so parallel runs require an observer-free ``SimConfig``.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.oram.config import OramConfig
+from repro.parallel.executor import Cell, run_cells
 from repro.sim.engine import SimConfig, simulate
 from repro.sim.results import SimResult
 from repro.traces.parsec import parsec_benchmarks, parsec_trace
@@ -116,11 +116,15 @@ def run_suite(
         for cfg in schemes:
             cells.append((cfg.name, bench, (cfg, trace, run_sim)))
     results: Dict[str, Dict[str, SimResult]] = {cfg.name: {} for cfg in schemes}
-    if workers == 1:
-        outputs = [_run_cell(args) for _, _, args in cells]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outputs = list(pool.map(_run_cell, [args for _, _, args in cells]))
-    for (scheme_name, bench, _), result in zip(cells, outputs):
-        results[scheme_name][bench] = result
+    outputs = run_cells(
+        _run_cell,
+        [Cell(f"{name}/{bench}", args) for name, bench, args in cells],
+        workers=workers,
+    )
+    for (scheme_name, bench, _), res in zip(cells, outputs):
+        if not res.ok:
+            # run_suite callers expect a complete result map; a failed
+            # cell here is a bug, not a sweep condition to tolerate.
+            raise RuntimeError(f"simulation cell {res.key} failed:\n{res.error}")
+        results[scheme_name][bench] = res.value
     return results

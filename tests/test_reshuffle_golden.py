@@ -1,0 +1,62 @@
+"""Golden pins for the vectorized reshuffle write-back path.
+
+The reshuffle hot path (``_refill_bucket`` / ``_early_reshuffle`` /
+``_evict_path``) batches whole-bucket sink calls and takes RNG parity
+draws instead of per-slot loops; these constants are the simulator's
+outputs from *before* that rewrite, recorded at a fixed seed. Any
+drift here means the fast path is no longer behaviour-preserving --
+the optimization's contract is bit-identical statistics, so a change
+in these numbers is a bug (or a deliberate protocol change that must
+update the pins and the committed perf baselines together).
+
+``exec_ns`` is included on purpose: it is a pure function of the DRAM
+call sequence, so it pins the *order* of sink traffic, which the
+counter fields alone would not.
+"""
+
+import pytest
+
+from repro.core import schemes as schemes_mod
+from repro.sim.engine import SimConfig, Simulation
+from repro.sim.runner import make_trace
+
+LEVELS = 9
+REQUESTS = 400
+SEED = 3
+
+# scheme -> (reshuffles_by_level, stash_peak, dead_blocks,
+#            dram_reads, dram_writes, exec_ns)
+GOLDEN = {
+    "ring": (
+        [80, 95, 100, 96, 97, 94, 93, 83, 80],
+        30, 861, 6682, 7811, 145383.7544014085,
+    ),
+    "baseline": (
+        [80, 94, 104, 98, 96, 93, 92, 84, 80],
+        32, 852, 6670, 6005, 131498.01056338026,
+    ),
+    "ab": (
+        [80, 94, 105, 109, 107, 111, 117, 112, 98],
+        56, 397, 7270, 5801, 134647.2535211268,
+    ),
+    "ns": (
+        [80, 94, 104, 96, 101, 92, 90, 100, 85],
+        40, 785, 6808, 5842, 126045.25088028169,
+    ),
+}
+
+
+@pytest.mark.parametrize("scheme", sorted(GOLDEN))
+def test_sim_stats_match_prevectorization_goldens(scheme):
+    cfg = schemes_mod.by_name(scheme, LEVELS)
+    trace = make_trace("spec", "mcf", cfg.n_real_blocks, REQUESTS, seed=SEED)
+    result = Simulation(
+        cfg, trace, SimConfig(seed=SEED, warmup_requests=0)
+    ).run()
+    reshuffles, stash_peak, dead, reads, writes, exec_ns = GOLDEN[scheme]
+    assert [int(x) for x in result.reshuffles_by_level] == reshuffles
+    assert int(result.stash_peak) == stash_peak
+    assert int(result.dead_blocks) == dead
+    assert int(result.dram_reads) == reads
+    assert int(result.dram_writes) == writes
+    assert result.exec_ns == pytest.approx(exec_ns, rel=0, abs=1e-6)
