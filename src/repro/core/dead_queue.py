@@ -12,14 +12,22 @@ searching the FIFO at every reshuffle, the bucket store bumps a per-slot
 generations at pop time and silently discards stale entries. This keeps
 both ends of the queue O(1), matching the paper's "since they are FIFO
 queues, the maintenance cost is low".
+
+The storage is a struct-of-arrays ring buffer: three preallocated
+``capacity``-sized numpy columns (host bucket, host slot, generation)
+plus a head index and a size. ``gatherDEADs`` appends whole batches with
+``push_many`` (two slice stores at most, one per wrap segment) instead
+of one Python call per slot, which is what keeps the per-readPath gather
+cost flat on DR/AB configurations.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.oram.bucket import BucketStore, SlotStatus
+import numpy as np
+
+from repro.oram.bucket import BucketStore, ST_QUEUED
 
 
 class DeadQueue:
@@ -29,27 +37,83 @@ class DeadQueue:
         if capacity < 1:
             raise ValueError(f"DeadQueue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._fifo: Deque[Tuple[int, int, int]] = deque()
+        self._bucket = np.zeros(capacity, dtype=np.int64)
+        self._slot = np.zeros(capacity, dtype=np.int64)
+        self._gen = np.zeros(capacity, dtype=np.int64)
+        self._head = 0
+        self._size = 0
         self.pushed = 0
         self.dropped_full = 0
         self.popped = 0
         self.stale_discarded = 0
 
     def __len__(self) -> int:
-        return len(self._fifo)
+        return self._size
 
     @property
     def is_full(self) -> bool:
-        return len(self._fifo) >= self.capacity
+        return self._size >= self.capacity
+
+    @property
+    def space(self) -> int:
+        """Free entries left before the queue is full."""
+        return self.capacity - self._size
 
     def push(self, bucket: int, slot: int, generation: int) -> bool:
         """Queue a dead slot; False if the queue is full (slot skipped)."""
-        if self.is_full:
+        if self._size >= self.capacity:
             self.dropped_full += 1
             return False
-        self._fifo.append((bucket, slot, generation))
+        tail = self._head + self._size
+        if tail >= self.capacity:
+            tail -= self.capacity
+        self._bucket[tail] = bucket
+        self._slot[tail] = slot
+        self._gen[tail] = generation
+        self._size += 1
         self.pushed += 1
         return True
+
+    def push_many(
+        self,
+        bucket: int,
+        slots: Sequence[int],
+        generations: Sequence[int],
+    ) -> None:
+        """Append several slots of one host bucket, oldest-slot first.
+
+        Equivalent to one :meth:`push` per slot. The caller pre-limits
+        the batch to :attr:`space` (gatherDEADs stops collecting at the
+        queue's free room rather than dropping), so overflow here is a
+        caller bug, not an expected event.
+        """
+        n = len(slots)
+        if n == 0:
+            return
+        cap = self.capacity
+        if n > cap - self._size:
+            raise ValueError(
+                f"push_many of {n} entries exceeds free space "
+                f"{cap - self._size}"
+            )
+        start = self._head + self._size
+        if start >= cap:
+            start -= cap
+        end = start + n
+        if end <= cap:
+            self._bucket[start:end] = bucket
+            self._slot[start:end] = slots
+            self._gen[start:end] = generations
+        else:
+            k = cap - start
+            self._bucket[start:] = bucket
+            self._slot[start:] = slots[:k]
+            self._gen[start:] = generations[:k]
+            self._bucket[:end - cap] = bucket
+            self._slot[:end - cap] = slots[k:]
+            self._gen[:end - cap] = generations[k:]
+        self._size += n
+        self.pushed += n
 
     def pop_valid(self, store: BucketStore) -> Optional[Tuple[int, int]]:
         """Pop the oldest entry that still describes a reclaimable slot.
@@ -58,21 +122,48 @@ class DeadQueue:
         status is still QUEUED (i.e. the host bucket has not reshuffled
         it away and nobody else consumed it).
         """
-        while self._fifo:
-            bucket, slot, gen = self._fifo.popleft()
-            if (
-                store.slot_generation(bucket, slot) == gen
-                and store.get_status(bucket, slot) == SlotStatus.QUEUED
-            ):
+        cap = self.capacity
+        bkt_col, slt_col, gen_col = self._bucket, self._slot, self._gen
+        gen_arr = store.generation
+        st_arr = store.status
+        while self._size:
+            h = self._head
+            b = int(bkt_col[h])
+            s = int(slt_col[h])
+            g = int(gen_col[h])
+            h += 1
+            self._head = h if h < cap else 0
+            self._size -= 1
+            if gen_arr[b, s] == g and st_arr[b, s] == ST_QUEUED:
                 self.popped += 1
-                return bucket, slot
+                return b, s
             self.stale_discarded += 1
         return None
 
     def requeue_front(self, bucket: int, slot: int, generation: int) -> None:
         """Put an entry back at the head (used when a pop must be undone)."""
-        self._fifo.appendleft((bucket, slot, generation))
+        if self._size >= self.capacity:
+            raise RuntimeError("requeue_front on a full DeadQueue")
+        h = self._head - 1
+        if h < 0:
+            h += self.capacity
+        self._head = h
+        self._bucket[h] = bucket
+        self._slot[h] = slot
+        self._gen[h] = generation
+        self._size += 1
         self.popped -= 1
+
+    def entries(self) -> List[Tuple[int, int, int]]:
+        """Snapshot of (bucket, slot, generation) entries, oldest first."""
+        if not self._size:
+            return []
+        idx = (self._head + np.arange(self._size)) % self.capacity
+        return list(zip(
+            self._bucket[idx].tolist(),
+            self._slot[idx].tolist(),
+            self._gen[idx].tolist(),
+        ))
 
 
 class DeadQueueSet:

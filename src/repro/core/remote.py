@@ -29,20 +29,33 @@ Extension is all-or-nothing per bucket ("dynamicS is extended to S+2
 only for the buckets that allocate their two logical tree blocks in
 reclaimed dead blocks"); the grant/attempt ratio is the paper's Fig. 14
 metric.
+
+Rental bookkeeping is a pooled struct-of-arrays host table: three
+``(rows, r_max)`` numpy columns (host bucket, host slot, logical
+content) where each row is one active renter, found through a
+``renter -> row`` dict. Rows are recycled through a free list and the
+table doubles on demand, so memory stays proportional to *concurrent*
+renters (a handful) rather than the tree size. Batched entry points --
+``gather_path`` over the tracked levels only, ``push_many`` into the
+DeadQ, ``set_status_many`` on the host bucket, ``write_remote_all`` for
+a reshuffle's scatter -- replace the per-slot call chains that dominated
+the AB profile.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.dead_queue import DeadQueueSet
 from repro.oram.bucket import (
     CONSUMED,
     DUMMY,
+    ST_DEAD,
     ST_IN_USE,
     ST_QUEUED,
     BucketStore,
-    SlotStatus,
 )
 from repro.oram.config import OramConfig
 
@@ -53,8 +66,23 @@ class RemoteAllocator:
     def __init__(self, cfg: OramConfig) -> None:
         self.cfg = cfg
         self.queues = DeadQueueSet(cfg.deadq_levels, cfg.deadq_capacity)
-        # renter bucket -> list of unconsumed [host_bucket, host_slot, content]
-        self._rentals: Dict[int, List[List[int]]] = {}
+        #: Levels with a DeadQ, ascending -- the only levels gather
+        #: visits (gather on any other level is a guaranteed no-op).
+        self._tracked: Tuple[int, ...] = self.queues.tracked_levels()
+        #: (level, queue) pairs for the tracked levels -- gather_path
+        #: iterates this to skip the per-access queue dict lookups.
+        self._tracked_queues = [
+            (lv, self.queues.get(lv)) for lv in self._tracked
+        ]
+        r_max = max((g.remote_extension for g in cfg.geometry), default=0)
+        self._r_max = max(1, int(r_max))
+        rows = 8
+        self._host_bucket = np.full((rows, self._r_max), -1, dtype=np.int64)
+        self._host_slot = np.full((rows, self._r_max), -1, dtype=np.int64)
+        self._content = np.full((rows, self._r_max), DUMMY, dtype=np.int64)
+        self._n_active: List[int] = [0] * rows
+        self._row_of: Dict[int, int] = {}     # renter bucket -> table row
+        self._free: List[int] = list(range(rows - 1, -1, -1))
         self._store: Optional[BucketStore] = None
         self.extension_attempts = 0
         self.extension_grants = 0
@@ -74,6 +102,31 @@ class RemoteAllocator:
             raise RuntimeError("RemoteAllocator not bound to a controller")
         return self._store
 
+    # ---------------------------------------------------------- host table
+
+    def _grow(self) -> None:
+        rows = len(self._n_active)
+        new_rows = rows * 2
+        for name in ("_host_bucket", "_host_slot", "_content"):
+            old = getattr(self, name)
+            grown = np.full((new_rows, self._r_max), -1, dtype=np.int64)
+            grown[:rows] = old
+            setattr(self, name, grown)
+        self._n_active.extend([0] * rows)
+        self._free.extend(range(new_rows - 1, rows - 1, -1))
+
+    def _alloc_row(self, bucket: int) -> int:
+        if not self._free:
+            self._grow()
+        row = self._free.pop()
+        self._row_of[bucket] = row
+        return row
+
+    def _release_row(self, bucket: int, row: int) -> None:
+        del self._row_of[bucket]
+        self._n_active[row] = 0
+        self._free.append(row)
+
     # -------------------------------------------------------------- gather
 
     def gather(self, bucket: int, level: int) -> int:
@@ -87,24 +140,38 @@ class RemoteAllocator:
         if queue is None or queue.is_full:
             return 0
         store = self.store
-        dead = store.dead_slots(bucket)
-        if not dead.size:
+        if not store.dead_count[bucket]:
             return 0
+        return self._gather_ready(queue, bucket, store)
+
+    def _gather_ready(self, queue, bucket: int, store: BucketStore) -> int:
+        """gather() after the no-op early-outs (queue usable, dead > 0)."""
+        dead = store.dead_slots(bucket)
         z = store.z_phys(bucket)
-        st = store.status[bucket, :z]
-        allocated = int(
-            ((st == ST_QUEUED) | (st == ST_IN_USE)).sum()
-        )
-        queued = 0
-        for slot in dead:
-            if allocated >= z - 1 or queue.is_full:
-                break
-            slot = int(slot)
-            if queue.push(bucket, slot, store.slot_generation(bucket, slot)):
-                store.set_status(bucket, slot, SlotStatus.QUEUED)
-                allocated += 1
-                queued += 1
-        return queued
+        allocated = store.queued_count[bucket] + store.in_use_count[bucket]
+        n = min(int(dead.size), z - 1 - allocated, queue.space)
+        if n <= 0:
+            return 0
+        take = dead[:n]
+        queue.push_many(bucket, take, store.generation[bucket, take])
+        store.queue_dead(bucket, take)
+        return n
+
+    def gather_path(self, buckets: Sequence[int]) -> int:
+        """gatherDEADs over one whole path (``buckets[lv]`` at level lv).
+
+        Visits only the levels that have a DeadQ; untracked levels
+        cannot queue anything, so skipping them is behaviour-neutral,
+        as is skipping buckets with no DEAD slot (O(1) tally check).
+        """
+        total = 0
+        store = self.store
+        dead_count = store.dead_count
+        for lv, queue in self._tracked_queues:
+            b = buckets[lv]
+            if dead_count[b] and not queue.is_full:
+                total += self._gather_ready(queue, b, store)
+        return total
 
     # ---------------------------------------------------------- extension
 
@@ -113,15 +180,18 @@ class RemoteAllocator:
 
         Returns ``(granted_extension, host_slots)``. All-or-nothing: on
         shortage every popped entry goes back and the grant is 0. The
-        caller assigns contents via :meth:`write_remote` and reports
-        the memory writes.
+        caller assigns contents via :meth:`write_remote` /
+        :meth:`write_remote_all` and reports the memory writes.
         """
         r = self.cfg.geometry[level].remote_extension
         if r == 0:
             return 0, []
         queue = self.queues.get(level)
         self.extension_attempts += 1
-        if queue is None:
+        if queue is None or not len(queue):
+            # Popping an empty queue is side-effect free, so the empty
+            # case (common before the DeadQs warm up) can skip straight
+            # to the all-or-nothing denial.
             return 0, []
         store = self.store
         got: List[Tuple[int, int]] = []
@@ -136,27 +206,56 @@ class RemoteAllocator:
                 rejected.append(entry)
                 continue
             got.append(entry)
-        for hb, hs in rejected:
-            queue.requeue_front(hb, hs, store.slot_generation(hb, hs))
-        if len(got) < r:
-            for hb, hs in got:
-                queue.requeue_front(hb, hs, store.slot_generation(hb, hs))
-            return 0, []
-        for hb, hs in got:
-            store.set_status(hb, hs, SlotStatus.IN_USE)
+        if rejected or len(got) < r:
+            gen = store.generation
+            for hb, hs in rejected:
+                queue.requeue_front(hb, hs, int(gen[hb, hs]))
+            if len(got) < r:
+                for hb, hs in got:
+                    queue.requeue_front(hb, hs, int(gen[hb, hs]))
+                return 0, []
+        row = self._row_of.get(bucket)
+        if row is None:
+            row = self._alloc_row(bucket)
+        for i, (hb, hs) in enumerate(got):
+            store.set_status(hb, hs, ST_IN_USE)
             # The host's own row must never expose the rented slot.
             store.set_slot(hb, hs, CONSUMED)
-        self._rentals[bucket] = [[hb, hs, DUMMY] for hb, hs in got]
+            self._host_bucket[row, i] = hb
+            self._host_slot[row, i] = hs
+        self._content[row, :r] = DUMMY
+        self._n_active[row] = r
         self.extension_grants += 1
         return r, list(got)
 
     def write_remote(self, bucket: int, host: Tuple[int, int], content: int) -> None:
         """Set the logical content (block id or DUMMY) of a rented slot."""
-        for entry in self._rentals.get(bucket, ()):
-            if (entry[0], entry[1]) == host:
-                entry[2] = content
-                return
+        row = self._row_of.get(bucket)
+        if row is not None:
+            hb_row = self._host_bucket[row]
+            hs_row = self._host_slot[row]
+            for i in range(self._n_active[row]):
+                if hb_row[i] == host[0] and hs_row[i] == host[1]:
+                    self._content[row, i] = content
+                    return
         raise KeyError(f"bucket {bucket} does not rent slot {host}")
+
+    def write_remote_all(self, bucket: int, contents: Sequence[int]) -> None:
+        """Set every rented slot's content in one store (rental order).
+
+        ``contents[i]`` goes to the i-th host slot of the bucket's
+        current rental (the order :meth:`acquire` returned them);
+        equivalent to one :meth:`write_remote` per host.
+        """
+        row = self._row_of.get(bucket)
+        if row is None:
+            raise KeyError(f"bucket {bucket} rents no slots")
+        n = self._n_active[row]
+        if len(contents) != n:
+            raise ValueError(
+                f"bucket {bucket} rents {n} slots, got {len(contents)} contents"
+            )
+        self._content[row, :n] = contents
 
     def reclaim(self, bucket: int) -> Tuple[List[int], List[Tuple[int, int]]]:
         """End ``bucket``'s rental round (its reshuffle begins).
@@ -165,38 +264,85 @@ class RemoteAllocator:
         blocks they held are handed back for the caller to stash.
         Returns ``(real_blocks, released_host_slots)``.
         """
-        rentals = self._rentals.pop(bucket, None)
-        if not rentals:
+        row = self._row_of.get(bucket)
+        if row is None:
             return [], []
         store = self.store
+        n = self._n_active[row]
+        hb_row = self._host_bucket[row]
+        hs_row = self._host_slot[row]
+        c_row = self._content[row]
         reals: List[int] = []
         released: List[Tuple[int, int]] = []
-        for hb, hs, content in rentals:
+        for i in range(n):
+            hb = int(hb_row[i])
+            hs = int(hs_row[i])
+            content = int(c_row[i])
             if content >= 0:
                 reals.append(content)
             released.append((hb, hs))
             level = store.level(hb)
             queue = self.queues.get(level)
-            store.set_status(hb, hs, SlotStatus.QUEUED)
-            gen = store.slot_generation(hb, hs)
+            store.set_status(hb, hs, ST_QUEUED)
+            gen = int(store.generation[hb, hs])
             if queue is None or not queue.push(hb, hs, gen):
                 # Queue full: the slot stays dead until its host bucket
                 # reshuffles over it.
-                store.set_status(hb, hs, SlotStatus.DEAD)
+                store.set_status(hb, hs, ST_DEAD)
             self.reclaimed_slots += 1
+        self._release_row(bucket, row)
         return reals, released
 
     # ------------------------------------------------------- readPath side
 
+    def has_rentals(self, bucket: int) -> bool:
+        """O(1): does ``bucket`` currently rent any unconsumed slot?"""
+        return bucket in self._row_of
+
+    def has_any_rentals(self) -> bool:
+        """O(1): does *any* bucket currently rent a slot?"""
+        return bool(self._row_of)
+
+    def rental_view(
+        self, bucket: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Raw host-table row of ``bucket``: (hosts, slots, contents, n).
+
+        The readPath hot loop inspects a couple of rented slots per
+        call; handing out the backing arrays (entries ``[:n]`` valid,
+        rental order) avoids the per-call list building of
+        :meth:`rentals_of`. Callers must not mutate them.
+        """
+        row = self._row_of[bucket]
+        return (
+            self._host_bucket[row],
+            self._host_slot[row],
+            self._content[row],
+            self._n_active[row],
+        )
+
     def rentals_of(self, bucket: int) -> List[List[int]]:
         """Unconsumed rented slots of ``bucket`` as [hb, hs, content]."""
-        return self._rentals.get(bucket, [])
+        row = self._row_of.get(bucket)
+        if row is None:
+            return []
+        hb_row = self._host_bucket[row].tolist()
+        hs_row = self._host_slot[row].tolist()
+        c_row = self._content[row].tolist()
+        return [
+            [hb_row[i], hs_row[i], c_row[i]]
+            for i in range(self._n_active[row])
+        ]
 
     def find_remote_block(self, bucket: int, block: int) -> Optional[Tuple[int, int]]:
         """Host location of ``block`` if ``bucket`` stores it remotely."""
-        for hb, hs, content in self._rentals.get(bucket, ()):
-            if content == block:
-                return hb, hs
+        row = self._row_of.get(bucket)
+        if row is None:
+            return None
+        c_row = self._content[row]
+        for i in range(self._n_active[row]):
+            if c_row[i] == block:
+                return int(self._host_bucket[row, i]), int(self._host_slot[row, i])
         return None
 
     def consume_remote(self, bucket: int, host: Tuple[int, int]) -> int:
@@ -205,21 +351,32 @@ class RemoteAllocator:
         The host slot turns DEAD (gatherable again); the renter's access
         count advances exactly as for a local read.
         """
-        rentals = self._rentals.get(bucket)
-        if not rentals:
+        row = self._row_of.get(bucket)
+        if row is None or self._n_active[row] == 0:
             raise RuntimeError(f"bucket {bucket} has no unconsumed remote slots")
-        for i, (hb, hs, content) in enumerate(rentals):
-            if (hb, hs) == host:
-                rentals.pop(i)
+        n = self._n_active[row]
+        hb_row = self._host_bucket[row]
+        hs_row = self._host_slot[row]
+        c_row = self._content[row]
+        for i in range(n):
+            if hb_row[i] == host[0] and hs_row[i] == host[1]:
+                content = int(c_row[i])
+                if i < n - 1:
+                    # Shift the tail left so rental order is preserved.
+                    hb_row[i:n - 1] = hb_row[i + 1:n].copy()
+                    hs_row[i:n - 1] = hs_row[i + 1:n].copy()
+                    c_row[i:n - 1] = c_row[i + 1:n].copy()
+                self._n_active[row] = n - 1
+                if n == 1:
+                    self._release_row(bucket, row)
                 store = self.store
+                hb, hs = host
                 store.set_slot(hb, hs, CONSUMED)
-                store.set_status(hb, hs, SlotStatus.DEAD)
+                store.set_status(hb, hs, ST_DEAD)
                 store.count[bucket] += 1
                 self.remote_reads += 1
                 if content >= 0:
                     self.remote_real_reads += 1
-                if not rentals:
-                    self._rentals.pop(bucket, None)
                 return content
         raise KeyError(f"bucket {bucket} does not rent slot {host}")
 
@@ -233,15 +390,16 @@ class RemoteAllocator:
         return self.extension_grants / self.extension_attempts
 
     def active_rentals(self) -> int:
-        return sum(len(v) for v in self._rentals.values())
+        return sum(self._n_active[row] for row in self._row_of.values())
 
     def remote_real_blocks(self) -> List[Tuple[int, int]]:
         """(renter bucket, block) pairs currently stored remotely."""
         out: List[Tuple[int, int]] = []
-        for bucket, rentals in self._rentals.items():
-            for _hb, _hs, content in rentals:
-                if content >= 0:
-                    out.append((bucket, content))
+        for bucket, row in self._row_of.items():
+            c_row = self._content[row]
+            for i in range(self._n_active[row]):
+                if c_row[i] >= 0:
+                    out.append((bucket, int(c_row[i])))
         return out
 
     def stats(self) -> Dict[str, object]:

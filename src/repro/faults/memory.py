@@ -90,6 +90,18 @@ class FaultyMemory:
         # RNG exactly as an unwrapped seal_dummy would draw it.
         self.seal_slot(bucket, slot, self.inner._dummy_plaintext())
 
+    def seal_many(self, items: Any) -> None:
+        # Must be implemented here, not left to __getattr__: the
+        # passthrough would hand the batch to the inner store and the
+        # whole reshuffle write-back would escape fault injection.
+        # Looping our own seal_slot/seal_dummy keeps the per-seal op
+        # indices, injections and RNG draws identical to scalar calls.
+        for bucket, slot, plaintext in items:
+            if plaintext is None:
+                self.seal_dummy(bucket, slot)
+            else:
+                self.seal_slot(bucket, slot, plaintext)
+
     # ------------------------------------------------------------- opening
 
     def open_slot(self, bucket: int, slot: int) -> bytes:

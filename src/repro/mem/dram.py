@@ -168,6 +168,156 @@ class DramModel:
         st.total_service_ns += completion - arrival_ns
         return completion
 
+    def access_batch(
+        self, byte_addrs: List[int], write: bool, arrival_ns: float
+    ) -> float:
+        """Service several same-direction requests arriving together.
+
+        Bit-identical to one :meth:`access` call per address in order;
+        returns the latest completion time. The sink's batched entry
+        points use this to shed the per-request method dispatch and
+        attribute traffic -- all mutable channel/bank state is bound to
+        locals once per batch (the lists are mutated in place, so
+        :meth:`_apply_refresh` stays coherent).
+        """
+        line_bytes = self._line_bytes
+        n_channels = self._n_channels
+        lines_per_row = self._lines_per_row
+        n_banks = self._n_banks
+        t_refi = self._t_refi
+        t_rp = self._t_rp
+        t_rrd = self._t_rrd
+        t_col = self._t_rcd + (self._t_cwd if write else self._t_cas)
+        t_hit = self._t_cwd if write else self._t_cas
+        t_turn = self._t_wtr if not write else self._t_rtw
+        t_wr = self._t_wr if write else 0.0
+        burst_ns = self._burst_ns
+        open_row = self._open_row
+        bank_ready = self._bank_ready
+        bus_free_l = self._bus_free
+        last_activate = self._last_activate
+        last_was_write = self._last_was_write
+        refresh_epoch = self._refresh_epoch
+        busy = self.channel_busy_ns
+        hits = 0
+        service = 0.0
+        latest = 0.0
+        for byte_addr in byte_addrs:
+            line = byte_addr // line_bytes
+            channel = line % n_channels
+            rest = (line // n_channels) // lines_per_row
+            bank = rest % n_banks
+            row = rest // n_banks
+            if t_refi > 0 and arrival_ns >= (refresh_epoch[channel] + 1) * t_refi:
+                self._apply_refresh(channel, arrival_ns)
+            bank_idx = channel * n_banks + bank
+            brdy = bank_ready[bank_idx]
+            if open_row[bank_idx] == row:
+                ready = (arrival_ns if arrival_ns > brdy else brdy) + t_hit
+                hits += 1
+            else:
+                precharged = (arrival_ns if arrival_ns > brdy else brdy) + t_rp
+                rated = last_activate[channel] + t_rrd
+                activate = precharged if precharged > rated else rated
+                last_activate[channel] = activate
+                ready = activate + t_col
+            bus_free = bus_free_l[channel]
+            if last_was_write[channel] != write:
+                # Direction turnaround: tWTR after a write on the
+                # channel, tRTW after a read (mirrors ``access``).
+                bus_free += t_turn
+            burst_start = ready if ready > bus_free else bus_free
+            completion = burst_start + burst_ns
+            bus_free_l[channel] = completion
+            last_was_write[channel] = write
+            bank_ready[bank_idx] = completion + t_wr
+            open_row[bank_idx] = row
+            busy[channel] += completion - burst_start
+            service += completion - arrival_ns
+            if completion > latest:
+                latest = completion
+        n = len(byte_addrs)
+        st = self.stats
+        if write:
+            st.writes += n
+        else:
+            st.reads += n
+        st.row_hits += hits
+        st.row_misses += n - hits
+        st.total_service_ns += service
+        return latest
+
+    def access_repeat(
+        self, byte_addr: int, count: int, write: bool, arrival_ns: float
+    ) -> float:
+        """Service the same address ``count`` times arriving together.
+
+        Bit-identical to ``access_batch([byte_addr] * count, ...)``, but
+        after the first request the chain collapses: the row is open,
+        the bank/bus dependencies are the previous completion, and the
+        refresh check cannot fire again (``_apply_refresh`` advances the
+        channel's epoch past ``arrival_ns``). Ring ORAM's Z'-deep bucket
+        read bursts (reshuffle read phase) all take this shape, which is
+        why the generic per-address loop is worth bypassing. Every
+        floating-point operation matches the generic loop's order, so
+        completion times and stat accumulations agree to the last bit.
+        """
+        if count <= 0:
+            return 0.0
+        line = byte_addr // self._line_bytes
+        channel = line % self._n_channels
+        rest = (line // self._n_channels) // self._lines_per_row
+        bank = rest % self._n_banks
+        row = rest // self._n_banks
+        t_refi = self._t_refi
+        if t_refi > 0 and arrival_ns >= (self._refresh_epoch[channel] + 1) * t_refi:
+            self._apply_refresh(channel, arrival_ns)
+        t_hit = self._t_cwd if write else self._t_cas
+        bank_idx = channel * self._n_banks + bank
+        brdy = self._bank_ready[bank_idx]
+        row_hit = self._open_row[bank_idx] == row
+        if row_hit:
+            ready = (arrival_ns if arrival_ns > brdy else brdy) + t_hit
+        else:
+            precharged = (arrival_ns if arrival_ns > brdy else brdy) + self._t_rp
+            rated = self._last_activate[channel] + self._t_rrd
+            activate = precharged if precharged > rated else rated
+            self._last_activate[channel] = activate
+            ready = activate + (self._t_rcd + t_hit)
+        bus_free = self._bus_free[channel]
+        if self._last_was_write[channel] != write:
+            bus_free += self._t_wtr if not write else self._t_rtw
+        burst_ns = self._burst_ns
+        t_wr = self._t_wr if write else 0.0
+        burst_start = ready if ready > bus_free else bus_free
+        completion = burst_start + burst_ns
+        busy_c = self.channel_busy_ns[channel] + (completion - burst_start)
+        service = completion - arrival_ns
+        for _ in range(count - 1):
+            # Row hit, no turnaround, and the bank/bus frontier is the
+            # previous completion (``completion >= arrival_ns`` always,
+            # so the generic loop's max() picks the bank side too).
+            ready = (completion + t_wr) + t_hit
+            burst_start = ready if ready > completion else completion
+            completion = burst_start + burst_ns
+            busy_c += completion - burst_start
+            service += completion - arrival_ns
+        self._bus_free[channel] = completion
+        self._last_was_write[channel] = write
+        self._bank_ready[bank_idx] = completion + t_wr
+        self._open_row[bank_idx] = row
+        self.channel_busy_ns[channel] = busy_c
+        st = self.stats
+        if write:
+            st.writes += count
+        else:
+            st.reads += count
+        hits = count if row_hit else count - 1
+        st.row_hits += hits
+        st.row_misses += count - hits
+        st.total_service_ns += service
+        return completion
+
     def access_burst(
         self, byte_addrs: List[int], writes: List[bool], arrival_ns: float
     ) -> float:

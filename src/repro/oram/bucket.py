@@ -103,6 +103,21 @@ class BucketStore:
         # are needed, which lets ``refresh`` skip the status scans
         # entirely. Flipped by ``set_status`` and never cleared.
         self.has_lifecycle = False
+        # Per-bucket tallies of QUEUED / IN_USE slots, maintained by
+        # ``set_status``/``set_status_many``/``refresh`` (``consume``
+        # only ever moves REFRESHED -> DEAD, so it never touches them).
+        # They make "how many slots are ALLOCATED" an O(1) lookup and
+        # let ``refresh`` keep its whole-bucket fast path for buckets
+        # whose lifecycle state has drained back to zero. Plain lists:
+        # scalar numpy indexing would box a fresh object per lookup.
+        self.queued_count: List[int] = [0] * n
+        self.in_use_count: List[int] = [0] * n
+        # Per-bucket tally of DEAD slots (consumed, not yet queued or
+        # reused), maintained by ``consume``/``refresh``/``set_status``/
+        # ``set_status_many``/``queue_dead``. gatherDEADs checks it to
+        # skip the dead-slot scan on the (common) buckets with nothing
+        # to gather.
+        self.dead_count: List[int] = [0] * n
 
     # ------------------------------------------------------------ geometry
 
@@ -222,16 +237,44 @@ class BucketStore:
                 f"slot {slot} out of range for bucket {bucket} "
                 f"(Z={self._z_list[bucket]})"
             )
-        content = int(self.slots[bucket, slot])
-        if content in (CONSUMED, UNALLOCATED):
+        # ``.item`` skips the numpy-scalar boxing of ``int(arr[i, j])``;
+        # content < DUMMY covers exactly CONSUMED and UNALLOCATED.
+        content = self.slots.item(bucket, slot)
+        if content < DUMMY:
             raise RuntimeError(
                 f"double consume of bucket {bucket} slot {slot} (={content})"
             )
         self.slots[bucket, slot] = CONSUMED
+        # A consumable slot is always REFRESHED (DEAD/QUEUED slots hold
+        # CONSUMED content and IN_USE slots are hidden from their host),
+        # so this transition is unconditionally REFRESHED -> DEAD.
         self.status[bucket, slot] = ST_DEAD
+        self.dead_count[bucket] += 1
         self.count[bucket] += 1
         self._scan_cache.pop(bucket, None)
         return content
+
+    def consume_path(
+        self, buckets: Sequence[int], slots: Sequence[int]
+    ) -> None:
+        """Batched :meth:`consume` over distinct buckets (one readPath).
+
+        The caller picked each slot from a live snapshot of valid
+        dummy/green candidates, so the double-consume and range guards
+        of the scalar call cannot fire and the writes collapse to two
+        fancy stores. Buckets are distinct (one per path level), so the
+        per-bucket tallies are plain increments.
+        """
+        b_arr = np.asarray(buckets, dtype=np.int64)
+        s_arr = np.asarray(slots, dtype=np.int64)
+        self.slots[b_arr, s_arr] = CONSUMED
+        self.status[b_arr, s_arr] = ST_DEAD
+        self.count[b_arr] += 1
+        dc = self.dead_count
+        pop = self._scan_cache.pop
+        for b in buckets:
+            dc[b] += 1
+            pop(b, None)
 
     def refresh(
         self,
@@ -264,6 +307,7 @@ class BucketStore:
             for i, blk in enumerate(real_blocks):
                 row[i] = blk
             self.status[bucket, :z] = ST_REFRESHED
+            self.dead_count[bucket] = 0
             self.count[bucket] = 0
             self._scan_cache.pop(bucket, None)
             lvl = self._level_list[bucket]
@@ -272,36 +316,54 @@ class BucketStore:
             )
             self.reshuffles_by_level[lvl] += 1
             return list(range(z))
-        usable = self.usable_slots(bucket)
-        n_usable = int(usable.size)
-        if len(real_blocks) > n_usable:
-            raise RuntimeError(
-                f"bucket {bucket}: {len(real_blocks)} real blocks but only "
-                f"{n_usable} usable slots"
-            )
-        if n_usable == z:
-            # Common case (no slot rented out): contiguous slice writes
-            # instead of fancy indexing.
+        if self.in_use_count[bucket] == 0:
+            # Whole-bucket fast path, now independent of the global
+            # ``has_lifecycle`` latch: as long as no slot of *this*
+            # bucket is rented out, every slot is usable (QUEUED and
+            # DEAD slots get rewritten), so the rewrite is contiguous
+            # slice stores. Lifecycle transitions are unchanged --
+            # QUEUED slots still take a generation bump (their DeadQ
+            # entries turn stale) before going REFRESHED.
+            if len(real_blocks) > z:
+                raise RuntimeError(
+                    f"bucket {bucket}: {len(real_blocks)} real blocks but only "
+                    f"{z} usable slots"
+                )
             st = self.status[bucket, :z]
-            queued = (st == ST_QUEUED).nonzero()[0]
-            if queued.size:
+            if self.queued_count[bucket]:
+                queued = (st == ST_QUEUED).nonzero()[0]
                 self.generation[bucket, queued] += 1
+                self.queued_count[bucket] = 0
             row = self.slots[bucket]
             row[:z] = DUMMY
             for i, blk in enumerate(real_blocks):
                 row[i] = blk
             st[:] = ST_REFRESHED
             written = list(range(z))
+            n_usable = z
         else:
-            # Reclaim queued slots (lazy DeadQ invalidation).
+            usable = self.usable_slots(bucket)
+            n_usable = int(usable.size)
+            if len(real_blocks) > n_usable:
+                raise RuntimeError(
+                    f"bucket {bucket}: {len(real_blocks)} real blocks but only "
+                    f"{n_usable} usable slots"
+                )
+            # Reclaim queued slots (lazy DeadQ invalidation). QUEUED
+            # slots are never IN_USE, so they are all usable and the
+            # bucket's queued tally drains to zero here.
             queued = usable[self.status[bucket, usable] == ST_QUEUED]
             if queued.size:
                 self.generation[bucket, queued] += 1
+                self.queued_count[bucket] -= int(queued.size)
             self.slots[bucket, usable] = DUMMY
             for i, blk in enumerate(real_blocks):
                 self.slots[bucket, usable[i]] = blk
             self.status[bucket, usable] = ST_REFRESHED
             written = usable.tolist()
+        # DEAD slots are never IN_USE, so every one of them was just
+        # rewritten (on both branches above): the tally drains to zero.
+        self.dead_count[bucket] = 0
         self.count[bucket] = 0
         self._scan_cache.pop(bucket, None)
         lvl = self._level_list[bucket]
@@ -318,9 +380,72 @@ class BucketStore:
         return self.count[bucket] >= self.sustain[bucket]
 
     def set_status(self, bucket: int, slot: int, status: SlotStatus) -> None:
-        self.status[bucket, slot] = status
-        if status in (SlotStatus.QUEUED, SlotStatus.IN_USE):
+        s = int(status)
+        old = int(self.status[bucket, slot])
+        if old != s:
+            if old == ST_QUEUED:
+                self.queued_count[bucket] -= 1
+            elif old == ST_IN_USE:
+                self.in_use_count[bucket] -= 1
+            elif old == ST_DEAD:
+                self.dead_count[bucket] -= 1
+            if s == ST_QUEUED:
+                self.queued_count[bucket] += 1
+            elif s == ST_IN_USE:
+                self.in_use_count[bucket] += 1
+            elif s == ST_DEAD:
+                self.dead_count[bucket] += 1
+            self.status[bucket, slot] = s
+        if s == ST_QUEUED or s == ST_IN_USE:
             self.has_lifecycle = True
+        self._scan_cache.pop(bucket, None)
+
+    def set_status_many(
+        self, bucket: int, slots: np.ndarray, status: SlotStatus
+    ) -> None:
+        """Set ``status`` on several slots of one bucket at once.
+
+        Equivalent to one :meth:`set_status` per slot; the per-bucket
+        QUEUED/IN_USE tallies are adjusted from a single vectorized
+        count of the previous statuses.
+        """
+        s = int(status)
+        st = self.status[bucket]
+        old = st[slots]
+        nq = int((old == ST_QUEUED).sum())
+        ni = int((old == ST_IN_USE).sum())
+        nd = int((old == ST_DEAD).sum())
+        if nq:
+            self.queued_count[bucket] -= nq
+        if ni:
+            self.in_use_count[bucket] -= ni
+        if nd:
+            self.dead_count[bucket] -= nd
+        st[slots] = s
+        n = len(slots)
+        if s == ST_QUEUED:
+            self.queued_count[bucket] += n
+            self.has_lifecycle = True
+        elif s == ST_IN_USE:
+            self.in_use_count[bucket] += n
+            self.has_lifecycle = True
+        elif s == ST_DEAD:
+            self.dead_count[bucket] += n
+        self._scan_cache.pop(bucket, None)
+
+    def queue_dead(self, bucket: int, slots: np.ndarray) -> None:
+        """DEAD -> QUEUED for several slots of one bucket (gatherDEADs).
+
+        Equivalent to :meth:`set_status_many` with status QUEUED when
+        the caller guarantees every slot is currently DEAD (which
+        gatherDEADs does: it takes them from :meth:`dead_slots`), so
+        the previous-status scan collapses to counter arithmetic.
+        """
+        n = len(slots)
+        self.status[bucket][slots] = ST_QUEUED
+        self.dead_count[bucket] -= n
+        self.queued_count[bucket] += n
+        self.has_lifecycle = True
         self._scan_cache.pop(bucket, None)
 
     def get_status(self, bucket: int, slot: int) -> SlotStatus:

@@ -24,7 +24,7 @@ and the next ``open_slot`` of an affected block raises.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -116,6 +116,24 @@ class EncryptedTreeStore:
     def seal_dummy(self, bucket: int, slot: int) -> None:
         """Seal fresh random bytes into a dummy slot."""
         self.seal_slot(bucket, slot, self._dummy_plaintext())
+
+    def seal_many(
+        self, items: Sequence[Tuple[int, int, Optional[bytes]]]
+    ) -> None:
+        """Seal a batch of slots in order; ``None`` payload means dummy.
+
+        One reshuffle's write-back arrives as a single call instead of
+        one ``seal_slot``/``seal_dummy`` per slot. Deliberately a plain
+        in-order loop: the dummy-filler RNG draws, the per-slot version
+        bumps, the Merkle updates and the ``seals`` counter must all
+        land exactly as the scalar calls would, because fault campaigns
+        and integrity counters pin that sequence.
+        """
+        for bucket, slot, plaintext in items:
+            if plaintext is None:
+                self.seal_dummy(bucket, slot)
+            else:
+                self.seal_slot(bucket, slot, plaintext)
 
     # ------------------------------------------------------------- opening
 

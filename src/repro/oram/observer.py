@@ -18,13 +18,19 @@ Events:
 - ``on_slot_reclaimed(bucket, slot, level, how)`` -- a dead slot's
   space was reused: ``how`` is ``"reshuffle"`` (rewritten by its own
   bucket) or ``"remote"`` (rented to another bucket).
+- ``on_slots_reclaimed(bucket, slots, level, how)`` -- the batched form
+  of the above for one bucket's reshuffle, mirroring the batched sink
+  calls (``data_access_block``/``data_access_many``) the controller
+  already issues for the same event. The default implementation fans
+  out to ``on_slot_reclaimed`` per slot in ascending order, so scalar
+  observers keep working unchanged; hot observers may override it.
 - ``on_reshuffle(bucket, level, kind)`` -- a bucket was rewritten.
 - ``on_evict_path(leaf)`` -- an evictPath completed.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 
 class BaseObserver:
@@ -48,6 +54,17 @@ class BaseObserver:
         self, bucket: int, slot: int, level: int, how: str
     ) -> None:
         pass
+
+    def on_slots_reclaimed(
+        self, bucket: int, slots: Sequence[int], level: int, how: str
+    ) -> None:
+        """Batched reclamation of several slots of one bucket.
+
+        Semantically one :meth:`on_slot_reclaimed` per slot in order;
+        the controller emits this coalesced form on the reshuffle path.
+        """
+        for slot in slots:
+            self.on_slot_reclaimed(bucket, int(slot), level, how)
 
     def on_reshuffle(self, bucket: int, level: int, kind) -> None:
         pass

@@ -40,7 +40,9 @@ import numpy as np
 from repro.crypto.auth import AuthenticationError
 from repro.crypto.integrity import IntegrityError
 from repro.oram import tree as tree_mod
-from repro.oram.bucket import BucketStore, DUMMY, ST_REFRESHED, SlotStatus
+from repro.oram.bucket import (
+    BucketStore, DUMMY, ST_DEAD, ST_QUEUED, ST_REFRESHED,
+)
 from repro.oram.config import OramConfig
 from repro.oram.position_map import PositionMap
 from repro.oram.plb import RecursivePosMap
@@ -114,6 +116,10 @@ class RingOram:
         self._rebuilding: Optional[int] = None
         self.evict_counter = 0
         self._z_real_by_level = [g.z_real for g in cfg.geometry]
+        # leaf -> (bucket list, bucket index array, metadata sink items):
+        # immutable per-path descriptors rebuilt constantly by readPath
+        # otherwise. Bounded by n_leaves.
+        self._path_cache: Dict[int, Tuple[List[int], np.ndarray, list]] = {}
         self.online_accesses = 0       # real + stash-hit accesses (paper's X axis)
         self.accesses_since_evict = 0
         self.background_accesses = 0
@@ -242,24 +248,31 @@ class RingOram:
         ext = self.ext
         treetop = cfg.treetop_levels
         mblocks = self.metadata_blocks
-        buckets = tree_mod.path_buckets(leaf, cfg.levels)
+        # Per-leaf path descriptors (bucket list, index array, metadata
+        # items) are immutable once built -- cache them across accesses.
+        cached = self._path_cache.get(leaf)
+        if cached is None:
+            buckets = tree_mod.path_buckets(leaf, cfg.levels)
+            bks = np.asarray(buckets, dtype=np.int64)
+            # A path holds exactly one bucket per level, root first, so
+            # ``buckets[i]`` sits at level ``i``.
+            meta_items = [(b, lv, lv < treetop) for lv, b in enumerate(buckets)]
+            self._path_cache[leaf] = (buckets, bks, meta_items)
+        else:
+            buckets, bks, meta_items = cached
         sink.begin_op(kind)
         # -- metadata pass (read now, write back at the end of the access)
-        # A path holds exactly one bucket per level, root first, so
-        # ``buckets[i]`` sits at level ``i``.
-        meta_items = [(b, lv, lv < treetop) for lv, b in enumerate(buckets)]
         sink.metadata_access_many(meta_items, write=False, blocks=mblocks)
         if self._verify_paths:
             self._verify_path_integrity(leaf, buckets)
         if ext is not None:
-            for lv, b in enumerate(buckets):
-                ext.gather(b, lv)
+            # gatherDEADs visits only the levels that own a DeadQ.
+            ext.gather_path(buckets)
         # -- whole-path snapshot, taken after gather() so DeadQ status
         # flips are visible. Path buckets are distinct and each is read
         # exactly once below, so the snapshot stays valid while slots
         # are consumed; remote hosts are never path buckets (a renter's
         # host sits at the renter's own level, different position).
-        bks = np.asarray(buckets, dtype=np.int64)
         rows, sts = store.path_slot_views(bks)
         # -- locate the target (the metadata identifies its bucket + slot)
         target_bucket = -1
@@ -270,7 +283,7 @@ class RingOram:
             if hit_lv.size:
                 target_bucket = buckets[int(hit_lv[0])]
                 target_slot = int(hit_slot[0])
-            elif ext is not None:
+            elif ext is not None and ext.has_any_rentals():
                 for b in buckets:
                     host = ext.find_remote_block(b, target)
                     if host is not None:
@@ -282,18 +295,41 @@ class RingOram:
         dmask = (rows == DUMMY) & (sts == ST_REFRESHED)
         dcounts = dmask.sum(axis=1).tolist()
         dummy_slot = dmask.nonzero()[1].tolist()
-        dstarts = [0] * (len(buckets) + 1)
-        acc = 0
-        for i, c in enumerate(dcounts):
-            acc += c
-            dstarts[i + 1] = acc
+        n_lv = len(buckets)
+        dstarts = [0] * (n_lv + 1)
+        dacc = 0
+        for i in range(n_lv):
+            dacc += dcounts[i]
+            dstarts[i + 1] = dacc
+        # -- green candidates (valid real slots) are computed the same
+        # way, but lazily: most accesses find a dummy at every level, so
+        # the scan runs only once a bucket turns up dry. A slot with
+        # real content is necessarily REFRESHED, so the content test
+        # alone is the population _read_nontarget would scan; ``rows``
+        # is a snapshot, so deferring the scan changes nothing.
+        gcounts = None
+        green_slot: List[int] = []
+        gstarts: List[int] = []
         # -- block pass: one read per bucket. Sink touches are collected
         # and issued as one batch (same order, one phase transition).
-        reads: List[Tuple[int, int, int, bool]] = []
+        # ``reads`` feeds only on_read_path, so without observers the
+        # per-level tuples are never built (``None`` disables tracking).
+        reads: Optional[List[Tuple[int, int, int, bool]]] = (
+            [] if self.observers else None
+        )
         sink_items: List[Tuple[int, int, int, bool, bool]] = []
+        # Consumes of the inlined no-rental paths are deferred into one
+        # batched write-back; each bucket appears at most once, nothing
+        # in the loop reads the affected state (observers only get the
+        # coordinates, _read_nontarget/consume_remote touch other
+        # buckets), and the batch lands before the ``due`` scan below.
+        cons_b: List[int] = []
+        cons_s: List[int] = []
         integers = self.rng.integers
         observers = self.observers
-        consume = store.consume
+        datastore = self.datastore
+        item = rows.item
+        has_rentals = ext.has_rentals if ext is not None else None
         for lv, b in enumerate(buckets):
             if b == target_bucket:
                 if target_remote is not None:
@@ -303,26 +339,65 @@ class RingOram:
                     hlv = store.level(hb)
                     self._notify_dead(hb, hs, hlv)
                     sink_items.append((hb, hs, hlv, hlv < treetop, True))
-                    reads.append((b, hs, hlv, True))
+                    if reads is not None:
+                        reads.append((b, hs, hlv, True))
                 else:
                     self._capture_payload(target, b, target_slot)
-                    blockval = store.consume(b, target_slot)
+                    blockval = target
+                    cons_b.append(b)
+                    cons_s.append(target_slot)
                     self._notify_dead(b, target_slot, lv)
                     sink_items.append((b, target_slot, lv, lv < treetop, False))
-                    reads.append((b, target_slot, lv, False))
+                    if reads is not None:
+                        reads.append((b, target_slot, lv, False))
                 self.stash.add(blockval, self.posmap.peek(blockval))
                 continue
             n_d = dcounts[lv]
-            if n_d and ext is None:
-                # Plain valid-dummy read with no remote slots in play:
-                # the overwhelmingly common case, inlined (same draws
-                # and touches as _read_nontarget's dummy branch).
-                slot = dummy_slot[dstarts[lv] + int(integers(n_d))]
-                consume(b, slot)
+            if ext is None or not has_rentals(b):
+                # No remote slots rented by this bucket (the
+                # overwhelmingly common case, inlined): the dummy and
+                # green populations are exactly the local ones, so the
+                # single ``integers`` draw here is the same draw
+                # _read_nontarget would take.
+                if n_d:
+                    slot = dummy_slot[dstarts[lv] + int(integers(n_d))]
+                    cons_b.append(b)
+                    cons_s.append(slot)
+                    for obs in observers:
+                        obs.on_slot_dead(b, slot, lv)
+                    sink_items.append((b, slot, lv, lv < treetop, False))
+                    if reads is not None:
+                        reads.append((b, slot, lv, False))
+                    continue
+                # Green block: a valid real slot spills to the stash
+                # (CB, paper section III-C).
+                if gcounts is None:
+                    gmask = rows >= 0
+                    gcounts = gmask.sum(axis=1).tolist()
+                    green_slot = gmask.nonzero()[1].tolist()
+                    gstarts = [0] * (n_lv + 1)
+                    gacc = 0
+                    for i in range(n_lv):
+                        gacc += gcounts[i]
+                        gstarts[i + 1] = gacc
+                n_g = gcounts[lv]
+                if not n_g:
+                    raise ProtocolError(
+                        f"bucket {b} (level {lv}) has no readable slot: "
+                        f"count={store.count[b]} sustain={store.sustain[b]}"
+                    )
+                slot = green_slot[gstarts[lv] + int(integers(n_g))]
+                blockval = item(lv, slot)
+                if datastore is not None:
+                    self._capture_payload(blockval, b, slot)
+                cons_b.append(b)
+                cons_s.append(slot)
                 for obs in observers:
                     obs.on_slot_dead(b, slot, lv)
                 sink_items.append((b, slot, lv, lv < treetop, False))
-                reads.append((b, slot, lv, False))
+                if reads is not None:
+                    reads.append((b, slot, lv, False))
+                self.stash.add(blockval, self.posmap.peek(blockval))
                 continue
             self._read_nontarget(
                 b, lv, reads, sink_items,
@@ -330,20 +405,23 @@ class RingOram:
                 dummy_slot[dstarts[lv]:dstarts[lv + 1]],
                 rows[lv],
             )
+        if cons_b:
+            store.consume_path(cons_b, cons_s)
         sink.data_access_many(sink_items, write=False)
         # -- metadata write-back
         sink.metadata_access_many(meta_items, write=True, blocks=mblocks)
         sink.end_op()
         for obs in self.observers:
             obs.on_read_path(leaf, reads, target_bucket)
-        due = (store.count[bks] >= store.sustain[bks]).tolist()
-        return [b for b, d in zip(buckets, due) if d]
+        citem = store.count.item
+        sitem = store.sustain.item
+        return [b for b in buckets if citem(b) >= sitem(b)]
 
     def _read_nontarget(
         self,
         b: int,
         lv: int,
-        reads: List[Tuple[int, int, int, bool]],
+        reads: Optional[List[Tuple[int, int, int, bool]]],
         sink_items: List[Tuple[int, int, int, bool, bool]],
         n_local_dummies: int,
         local_dummies: List[int],
@@ -359,12 +437,14 @@ class RingOram:
         memory touch goes into ``sink_items`` for the caller's batch.
         """
         store = self.store
-        onchip = lv < self.cfg.treetop_levels
-        rentals = self.ext.rentals_of(b) if self.ext is not None else ()
-        if rentals:
-            remote_dummies = [(hb, hs) for hb, hs, c in rentals if c == DUMMY]
-        else:
-            remote_dummies = []
+        treetop = self.cfg.treetop_levels
+        onchip = lv < treetop
+        # The caller only routes buckets with live rentals here, so the
+        # raw host-table row (rental order) replaces the list-building
+        # rentals_of(); n_act is at most remote_extension (a couple).
+        hb_row, hs_row, c_row, n_act = self.ext.rental_view(b)
+        citem = c_row.item
+        remote_dummies = [i for i in range(n_act) if citem(i) == DUMMY]
         n_dummies = n_local_dummies + len(remote_dummies)
         if n_dummies:
             pick = int(self.rng.integers(n_dummies))
@@ -373,22 +453,24 @@ class RingOram:
                 store.consume(b, slot)
                 self._notify_dead(b, slot, lv)
                 sink_items.append((b, slot, lv, onchip, False))
-                reads.append((b, slot, lv, False))
+                if reads is not None:
+                    reads.append((b, slot, lv, False))
             else:
-                host = remote_dummies[pick - n_local_dummies]
+                i = remote_dummies[pick - n_local_dummies]
+                host = (hb_row.item(i), hs_row.item(i))
                 self.ext.consume_remote(b, host)
                 hb, hs = host
                 hlv = store.level(hb)
                 self._notify_dead(hb, hs, hlv)
-                sink_items.append((hb, hs, hlv,
-                                   hlv < self.cfg.treetop_levels, True))
-                reads.append((b, hs, hlv, True))
+                sink_items.append((hb, hs, hlv, hlv < treetop, True))
+                if reads is not None:
+                    reads.append((b, hs, hlv, True))
             return
         # Green block: a valid real slot is consumed; the real block
         # returns to the processor and must stay in the stash (CB,
         # paper section III-C).
         local_greens = (row >= 0).nonzero()[0]
-        remote_greens = [(hb, hs) for hb, hs, c in rentals if c >= 0]
+        remote_greens = [i for i in range(n_act) if citem(i) >= 0]
         n_greens = local_greens.size + len(remote_greens)
         if not n_greens:
             raise ProtocolError(
@@ -398,24 +480,25 @@ class RingOram:
         pick = int(self.rng.integers(n_greens))
         if pick < local_greens.size:
             slot = int(local_greens[pick])
-            self._capture_payload(int(store.slots[b, slot]), b, slot)
+            if self.datastore is not None:
+                self._capture_payload(int(store.slots[b, slot]), b, slot)
             blockval = store.consume(b, slot)
             self._notify_dead(b, slot, lv)
             sink_items.append((b, slot, lv, onchip, False))
-            reads.append((b, slot, lv, False))
+            if reads is not None:
+                reads.append((b, slot, lv, False))
         else:
-            host = remote_greens[pick - local_greens.size]
+            i = remote_greens[pick - local_greens.size]
+            host = (hb_row.item(i), hs_row.item(i))
             hb, hs = host
-            for rhb, rhs, content in rentals:
-                if (rhb, rhs) == host:
-                    self._capture_payload(content, rhb, rhs)
-                    break
+            if self.datastore is not None:
+                self._capture_payload(citem(i), hb, hs)
             blockval = self.ext.consume_remote(b, host)
             hlv = store.level(hb)
             self._notify_dead(hb, hs, hlv)
-            sink_items.append((hb, hs, hlv,
-                               hlv < self.cfg.treetop_levels, True))
-            reads.append((b, hs, hlv, True))
+            sink_items.append((hb, hs, hlv, hlv < treetop, True))
+            if reads is not None:
+                reads.append((b, hs, hlv, True))
         self.stash.add(blockval, self.posmap.peek(blockval))
 
     # ---------------------------------------------------------- maintenance
@@ -435,27 +518,32 @@ class RingOram:
         whose rental round ends here.
         """
         store = self.store
-        if self.ext is None and self.datastore is None:
-            # No payloads to capture, no remote rentals to reclaim:
-            # pull the resident ids straight out of the bucket row and
-            # label them with one vectorized position-map gather. Same
-            # ascending-slot insertion order as the general path.
+        ext = self.ext
+        has_rentals = ext is not None and ext.has_rentals(b)
+        if self.datastore is None:
+            # No payloads to capture: pull the resident ids straight
+            # out of the bucket row. Same ascending-slot insertion
+            # order as the payload-capturing path below.
             blocks = store.resident_blocks(b)
-            if blocks.size:
-                self.stash.add_many(
-                    blocks.tolist(), self.posmap.peek_many(blocks).tolist()
-                )
-            return
-        resident_slots = store.valid_real_slots(b)
-        residents = [int(x) for x in store.row(b)[resident_slots]]
-        if self.datastore is not None:
+            if not has_rentals:
+                # Nothing rented either (reclaim would be a no-op):
+                # one vectorized position-map gather and we are done.
+                if blocks.size:
+                    self.stash.add_many(
+                        blocks.tolist(), self.posmap.peek_many(blocks).tolist()
+                    )
+                return
+            residents = blocks.tolist()
+        else:
+            resident_slots = store.valid_real_slots(b)
+            residents = [int(x) for x in store.row(b)[resident_slots]]
             for blk, slot in zip(residents, resident_slots):
                 self._capture_payload(blk, b, int(slot))
-        if self.ext is not None:
+        if ext is not None:
             if self.datastore is not None:
-                for hb, hs, content in self.ext.rentals_of(b):
+                for hb, hs, content in ext.rentals_of(b):
                     self._capture_payload(content, hb, hs)
-            remote_reals, released = self.ext.reclaim(b)
+            remote_reals, released = ext.reclaim(b)
             residents.extend(remote_reals)
             for hb, hs in released:
                 # The released host slot holds stale data again.
@@ -581,95 +669,108 @@ class RingOram:
         Renews the AB remote extension, picks stash blocks that may live
         in ``b``, scatters them uniformly over local + remote positions,
         rewrites every usable slot, and reports the writes.
+
+        One code path for every scheme: the AB/DR bookkeeping costs O(1)
+        counter lookups (usable-slot count, lazy DeadQ reclamation
+        inside ``refresh``) plus batched calls (``remove_many``,
+        ``write_remote_all``, ``seal_many``, coalesced sink/observer
+        events), so the general case runs at the speed the old
+        ring/CB/NS-only fast path did. The scatter draw is taken
+        whenever blocks are chosen -- even with no remote hosts, where
+        its result is irrelevant -- so the RNG stream never depends on
+        which scheme is active.
         """
         cfg = self.cfg
         store = self.store
         sink = self.sink
+        ext = self.ext
+        datastore = self.datastore
+        observers = self.observers
         onchip = lv < cfg.treetop_levels
-        if (self.ext is None and self.datastore is None
-                and not self.observers and not store.has_lifecycle):
-            # Fast path (ring/CB/NS steady state): no remote slots, so
-            # every one of the bucket's Z slots is usable, the scatter
-            # positions cannot route a block off-bucket, and the whole
-            # refill is one stash sweep + one array rewrite + one
-            # batched sink call. The scatter draw itself is kept (its
-            # result is irrelevant without remote hosts, but skipping
-            # it would shift the RNG stream off the general path).
-            z = store.z_phys(b)
-            z_real = self._z_real_by_level[lv]
-            capacity = z_real if z_real < z else z
-            chosen = self._pick_stash_blocks(b, lv, capacity)
-            if chosen:
-                self.rng.choice(z, size=len(chosen), replace=False)
-                remove = self.stash.remove
-                for blk in chosen:
-                    remove(blk)
-            written = store.refresh(b, chosen)
-            sink.data_access_block(b, written, lv, write=True, onchip=onchip)
-            return
-        usable = store.usable_slots(b)
-        reclaimed_dead: List[int] = []
-        if self.observers:
+        reclaimed_dead = None
+        if observers:
+            usable = store.usable_slots(b)
             st = store.status[b, usable]
-            reclaimed_dead = [
-                int(s) for s, v in zip(usable, st)
-                if v in (SlotStatus.DEAD, SlotStatus.QUEUED)
-            ]
+            reclaimed_dead = usable[(st == ST_DEAD) | (st == ST_QUEUED)]
+            n_usable = int(usable.size)
+        else:
+            # Usable = not rented out; the IN_USE tally makes the count
+            # O(1) and ``refresh`` recovers the slot indices itself.
+            n_usable = store.z_phys(b) - store.in_use_count[b]
         granted = 0
         hosts: List[Tuple[int, int]] = []
-        if self.ext is not None:
-            granted, hosts = self.ext.acquire(b, lv)
-            for hb, hs in hosts:
-                hlv = store.level(hb)
-                for obs in self.observers:
-                    obs.on_slot_reclaimed(hb, hs, hlv, "remote")
-        capacity = min(cfg.geometry[lv].z_real, len(usable) + granted)
+        if ext is not None:
+            granted, hosts = ext.acquire(b, lv)
+            if hosts and observers:
+                for hb, hs in hosts:
+                    hlv = store.level(hb)
+                    for obs in observers:
+                        obs.on_slot_reclaimed(hb, hs, hlv, "remote")
+        capacity = min(self._z_real_by_level[lv], n_usable + granted)
         chosen = self._pick_stash_blocks(b, lv, capacity)
         # Scatter real blocks uniformly across local + remote positions
         # so a remote read is indistinguishable from a local one.
-        n_positions = len(usable) + len(hosts)
-        remote_content: Dict[Tuple[int, int], int] = {h: DUMMY for h in hosts}
-        local_reals: List[int] = []
+        n_hosts = len(hosts)
+        local_reals = chosen
+        remote_contents = [DUMMY] * n_hosts
         if chosen:
-            positions = self.rng.choice(n_positions, size=len(chosen),
-                                        replace=False)
-            for blk, pos in zip(chosen, positions):
-                self.stash.remove(blk)
-                if pos < len(usable):
-                    local_reals.append(blk)
-                else:
-                    remote_content[hosts[int(pos) - len(usable)]] = blk
+            positions = self.rng.choice(n_usable + n_hosts,
+                                        size=len(chosen), replace=False)
+            if n_hosts:
+                local_reals = []
+                for blk, pos in zip(chosen, positions):
+                    if pos < n_usable:
+                        local_reals.append(blk)
+                    else:
+                        remote_contents[int(pos) - n_usable] = blk
+            self.stash.remove_many(chosen)
         written = store.refresh(b, local_reals, granted_extension=granted)
-        for slot in reclaimed_dead:
-            for obs in self.observers:
-                obs.on_slot_reclaimed(b, slot, lv, "reshuffle")
+        if observers and reclaimed_dead.size:
+            for obs in observers:
+                obs.on_slots_reclaimed(b, reclaimed_dead, lv, "reshuffle")
+        if datastore is None:
+            # Local writes are one same-bucket batch; remote-host writes
+            # (bottom levels only, never on-chip) share the same DRAM
+            # write phase, so splitting the sink call leaves arrival
+            # times -- and therefore exec_ns -- untouched.
+            sink.data_access_block(b, written, lv, write=True, onchip=onchip)
+            if hosts:
+                ext.write_remote_all(b, remote_contents)
+                treetop = cfg.treetop_levels
+                sink.data_access_many(
+                    [(hb, hs, store.level(hb),
+                      store.level(hb) < treetop, True)
+                     for hb, hs in hosts],
+                    write=True,
+                )
+            return
+        # Payload path: one ordered seal batch (locals then remote
+        # hosts) and one sink batch, same per-slot sequence as the
+        # scalar calls so versions, dummy-filler draws and Merkle
+        # updates are bit-identical.
+        pop_payload = self._stash_payload.pop
+        slots_row = store.slots[b]
+        seal_items: List[Tuple[int, int, Optional[bytes]]] = []
         write_items: List[Tuple[int, int, int, bool, bool]] = []
         for slot in written:
-            if self.datastore is not None:
-                content = int(store.slots[b, slot])
-                if content >= 0:
-                    self.datastore.seal_slot(
-                        b, slot,
-                        self._stash_payload.pop(content, b"\x00" * 64),
-                    )
-                else:
-                    self.datastore.seal_dummy(b, slot)
+            content = int(slots_row[slot])
+            seal_items.append(
+                (b, slot,
+                 pop_payload(content, b"\x00" * 64) if content >= 0 else None)
+            )
             write_items.append((b, slot, lv, onchip, False))
-        for host in hosts:
-            if self.ext is not None:
-                self.ext.write_remote(b, host, remote_content[host])
-            hb, hs = host
-            if self.datastore is not None:
-                content = remote_content[host]
-                if content >= 0:
-                    self.datastore.seal_slot(
-                        hb, hs,
-                        self._stash_payload.pop(content, b"\x00" * 64),
-                    )
-                else:
-                    self.datastore.seal_dummy(hb, hs)
-            hlv = store.level(hb)
-            write_items.append((hb, hs, hlv, hlv < cfg.treetop_levels, True))
+        if hosts:
+            ext.write_remote_all(b, remote_contents)
+            treetop = cfg.treetop_levels
+            for (hb, hs), content in zip(hosts, remote_contents):
+                seal_items.append(
+                    (hb, hs,
+                     pop_payload(content, b"\x00" * 64)
+                     if content >= 0 else None)
+                )
+                hlv = store.level(hb)
+                write_items.append((hb, hs, hlv, hlv < treetop, True))
+        datastore.seal_many(seal_items)
         sink.data_access_many(write_items, write=True)
 
     def _pick_stash_blocks(self, b: int, lv: int, capacity: int) -> List[int]:
@@ -679,7 +780,9 @@ class RingOram:
         refilling leaf-to-root: a block eligible for a deeper bucket on
         the eviction path was already taken by that bucket.
         """
-        if capacity <= 0:
+        if capacity <= 0 or not len(self.stash):
+            # Nothing to place (empty stash is the common case right
+            # after an evictPath): skip the position math and the call.
             return []
         return self.stash.pick_for_bucket(
             tree_mod.position_of(b), self.cfg.levels - 1 - lv, capacity

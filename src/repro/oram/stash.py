@@ -95,6 +95,16 @@ class Stash:
         """Remove a block; returns its leaf label."""
         return self._blocks.pop(block)
 
+    def remove_many(self, blocks: Iterable[int]) -> None:
+        """Bulk :meth:`remove` in iteration order (reshuffle refill).
+
+        Raises ``KeyError`` on the first non-resident block, exactly as
+        the per-block calls would.
+        """
+        pop = self._blocks.pop
+        for block in blocks:
+            pop(block)
+
     def blocks(self) -> Iterable[Tuple[int, int]]:
         """Iterate over ``(block, leaf)`` pairs (snapshot order unspecified)."""
         return self._blocks.items()
@@ -105,6 +115,10 @@ class Stash:
         crosses it, i.e. ``leaf >> shift == position``), in insertion
         order -- the order the reshuffle refill greedy depends on.
         """
+        if capacity <= 0 or not self._blocks:
+            # Nothing can match: skip the O(stash) scan outright (the
+            # common case right after an evictPath drained the stash).
+            return []
         found: List[int] = []
         for block, leaf in self._blocks.items():
             if (leaf >> shift) == position:

@@ -19,6 +19,7 @@ only throughput as a gate and the ``sim`` block as an identity check.
 """
 
 from repro.perf.compare import compare_reports
+from repro.perf.profile import profile_cell
 from repro.perf.runner import PerfConfig, full_config, run_perf, smoke_config
 from repro.perf.schema import SCHEMA_VERSION, validate_report
 
@@ -27,6 +28,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "compare_reports",
     "full_config",
+    "profile_cell",
     "run_perf",
     "smoke_config",
     "validate_report",

@@ -61,14 +61,16 @@ def full_config(**overrides: Any) -> PerfConfig:
 
 
 def smoke_config(**overrides: Any) -> PerfConfig:
-    """A seconds-scale matrix for CI: three schemes, one trace.
+    """A seconds-scale matrix for CI: four schemes, one trace.
 
     ``ns`` is the reshuffle-heavy cell (S=1 bottom levels force early
-    reshuffles constantly), so the smoke matrix exercises the
-    vectorized reshuffle write-back path, not just steady-state reads.
+    reshuffles constantly) and ``dr``/``ab`` exercise the dead-block
+    reclaim machinery (DeadQ gather/acquire, remote rentals), so the
+    smoke matrix covers the vectorized reshuffle write-back path and
+    the AB/DR bookkeeping, not just steady-state reads.
     """
     base = PerfConfig(
-        schemes=("ring", "ab", "ns"),
+        schemes=("ring", "ab", "dr", "ns"),
         benchmarks=("mcf",),
         levels=10,
         n_requests=500,

@@ -148,38 +148,39 @@ class DramSink(MemorySink):
             if done > self._op_end:
                 self._op_end = done
             return
-        access = self.dram.access
-        end = self._op_end
-        for _ in range(blocks):
-            done = access(addr, write, arrival)
-            if done > end:
-                end = done
-            addr += self._block_bytes
-        self._op_end = end
+        bb = self._block_bytes
+        done = self.dram.access_batch(
+            [addr + i * bb for i in range(blocks)], write, arrival
+        )
+        if done > self._op_end:
+            self._op_end = done
 
     def data_access_many(self, items, write):
-        # The phase transition must happen at the first *off-chip* item,
-        # exactly as in the scalar path: an all-onchip batch leaves the
-        # phase untouched, so later lower-phase requests still extend
-        # ``_op_end`` before the transition samples it.
-        arrival = None
-        access = self.dram.access
+        # The phase transition must happen only when the batch has an
+        # *off-chip* item, exactly as in the scalar path: an all-onchip
+        # batch leaves the phase untouched, so later lower-phase
+        # requests still extend ``_op_end`` before the transition
+        # samples it. Collecting addresses first is equivalent -- the
+        # transition reads state no collection step mutates.
         base = self._data_base
         off = self._data_off
         bb = self._block_bytes
-        end = self._op_end
+        addrs = []
+        append = addrs.append
+        remotes = 0
         for bucket, slot, level, onchip, remote in items:
             if onchip:
                 continue
-            if arrival is None:
-                arrival = self._arrival(2 if write else 1)
-                end = self._op_end
             if remote:
-                self.remote_accesses += 1
-            done = access(base + off[bucket] + slot * bb, write, arrival)
-            if done > end:
-                end = done
-        self._op_end = end
+                remotes += 1
+            append(base + off[bucket] + slot * bb)
+        if not addrs:
+            return
+        self.remote_accesses += remotes
+        arrival = self._arrival(2 if write else 1)
+        done = self.dram.access_batch(addrs, write, arrival)
+        if done > self._op_end:
+            self._op_end = done
 
     def data_access_repeat(self, bucket, slot, level, count, write,
                            onchip=False, remote=False):
@@ -190,14 +191,10 @@ class DramSink(MemorySink):
         arrival = self._arrival(2 if write else 1)
         if remote:
             self.remote_accesses += count
-        access = self.dram.access
         addr = self._data_base + self._data_off[bucket] + slot * self._block_bytes
-        end = self._op_end
-        for _ in range(count):
-            done = access(addr, write, arrival)
-            if done > end:
-                end = done
-        self._op_end = end
+        done = self.dram.access_repeat(addr, count, write, arrival)
+        if done > self._op_end:
+            self._op_end = done
 
     def data_access_block(self, bucket, slots, level, write,
                           onchip=False, remote=False):
@@ -206,48 +203,40 @@ class DramSink(MemorySink):
         arrival = self._arrival(2 if write else 1)
         if remote:
             self.remote_accesses += len(slots)
-        access = self.dram.access
         base = self._data_base + self._data_off[bucket]
         bb = self._block_bytes
-        end = self._op_end
-        for slot in slots:
-            done = access(base + slot * bb, write, arrival)
-            if done > end:
-                end = done
-        self._op_end = end
+        done = self.dram.access_batch(
+            [base + slot * bb for slot in slots], write, arrival
+        )
+        if done > self._op_end:
+            self._op_end = done
 
     def metadata_access_many(self, items, write, blocks=1):
-        arrival = None
-        access = self.dram.access
+        # Same all-onchip phase rule as data_access_many; addresses are
+        # collected first, then timed in one DRAM batch.
         base = self._meta_base
         stride = self._meta_stride
         bb = self._block_bytes
-        end = self._op_end
+        addrs = []
+        append = addrs.append
         if blocks == 1:
+            for bucket, level, onchip in items:
+                if not onchip:
+                    append(base + bucket * stride)
+        else:
             for bucket, level, onchip in items:
                 if onchip:
                     continue
-                if arrival is None:
-                    arrival = self._arrival(3 if write else 0)
-                    end = self._op_end
-                done = access(base + bucket * stride, write, arrival)
-                if done > end:
-                    end = done
-            self._op_end = end
+                addr = base + bucket * stride
+                for _ in range(blocks):
+                    append(addr)
+                    addr += bb
+        if not addrs:
             return
-        for bucket, level, onchip in items:
-            if onchip:
-                continue
-            if arrival is None:
-                arrival = self._arrival(3 if write else 0)
-                end = self._op_end
-            addr = base + bucket * stride
-            for _ in range(blocks):
-                done = access(addr, write, arrival)
-                if done > end:
-                    end = done
-                addr += bb
-        self._op_end = end
+        arrival = self._arrival(3 if write else 0)
+        done = self.dram.access_batch(addrs, write, arrival)
+        if done > self._op_end:
+            self._op_end = done
 
     def end_op(self) -> None:
         if self._op_kind is None:

@@ -1,5 +1,8 @@
 """Unit tests for DeadQ FIFOs (repro.core.dead_queue)."""
 
+from collections import deque
+
+import numpy as np
 import pytest
 
 from repro.core.dead_queue import DeadQueue, DeadQueueSet
@@ -86,6 +89,97 @@ class TestDeadQueue:
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             DeadQueue(0)
+
+
+class TestDeadQueueFifoProperties:
+    """Model-based FIFO checks for the struct-of-arrays ring buffer.
+
+    The SoA rewrite replaced a per-entry object deque with three
+    preallocated numpy columns plus head/size indices; these tests
+    replay randomized push/push_many/pop/requeue interleavings against
+    a ``collections.deque`` reference so wrap-around and batch-split
+    bookkeeping can never silently reorder or drop entries. The store
+    is a stand-in whose (generation, QUEUED) checks always pass, so
+    every pop must return exactly the reference's head.
+    """
+
+    class _AlwaysValidStore:
+        """Minimal BucketStore facade: every entry validates."""
+
+        class _Zero:
+            def __getitem__(self, key):
+                return 0
+
+        class _Queued:
+            def __getitem__(self, key):
+                return int(SlotStatus.QUEUED)
+
+        generation = _Zero()
+        status = _Queued()
+
+    @pytest.mark.parametrize("capacity", [1, 2, 7, 64])
+    def test_random_interleaving_matches_deque_model(self, capacity):
+        rng = np.random.default_rng(capacity)
+        q = DeadQueue(capacity)
+        model = deque()
+        store = self._AlwaysValidStore()
+        next_id = 0
+        for _ in range(2000):
+            op = rng.integers(4)
+            if op == 0:  # push
+                ok = q.push(7, next_id, 0)
+                assert ok == (len(model) < capacity)
+                if ok:
+                    model.append(next_id)
+                next_id += 1
+            elif op == 1:  # push_many of a random batch, limited to space
+                n = int(rng.integers(0, capacity + 1))
+                n = min(n, q.space)
+                slots = list(range(next_id, next_id + n))
+                q.push_many(7, slots, [0] * n)
+                model.extend(slots)
+                next_id += n
+            elif op == 2:  # pop
+                got = q.pop_valid(store)
+                if model:
+                    assert got == (7, model.popleft())
+                else:
+                    assert got is None
+            else:  # pop then requeue_front (the undo path)
+                got = q.pop_valid(store)
+                if model:
+                    assert got == (7, model.popleft())
+                    q.requeue_front(got[0], got[1], 0)
+                    model.appendleft(got[1])
+                else:
+                    assert got is None
+            assert len(q) == len(model)
+            assert [s for _, s, _ in q.entries()] == list(model)
+
+    def test_push_many_overflow_rejected(self):
+        q = DeadQueue(4)
+        q.push_many(7, [0, 1, 2], [0, 0, 0])
+        with pytest.raises(ValueError):
+            q.push_many(7, [3, 4], [0, 0])
+        # A rejected batch must leave the queue untouched.
+        assert [s for _, s, _ in q.entries()] == [0, 1, 2]
+
+    def test_push_many_equivalent_to_pushes_across_wrap(self):
+        """A batch split by the wrap point equals one push per slot."""
+        store = self._AlwaysValidStore()
+        for drain in range(6):
+            batched, scalar = DeadQueue(6), DeadQueue(6)
+            # Advance both heads so a later batch straddles the end.
+            for i in range(drain):
+                batched.push(7, i, 0)
+                scalar.push(7, i, 0)
+                batched.pop_valid(store)
+                scalar.pop_valid(store)
+            slots = list(range(100, 100 + 5))
+            batched.push_many(7, slots, [0] * 5)
+            for s in slots:
+                scalar.push(7, s, 0)
+            assert batched.entries() == scalar.entries()
 
 
 class TestDeadQueueSet:

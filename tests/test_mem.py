@@ -35,6 +35,29 @@ class TestTiming:
         for preset in (DDR3_1600, DDR3_1066, IDEAL_BUS):
             assert preset.burst_ns > 0
 
+    @pytest.mark.parametrize(
+        "preset", [DDR3_1600, DDR3_1066, IDEAL_BUS],
+        ids=["ddr3_1600", "ddr3_1066", "ideal_bus"])
+    def test_hoisted_model_constants_match_timing_source(self, preset):
+        """The hot-path copies in DramModel track mem/timing exactly.
+
+        ``DramModel.__init__`` hoists every timing field (and the
+        address-mapping geometry) into ``_``-prefixed attributes so the
+        per-access loops skip dataclass attribute lookups. The
+        dataclasses in ``repro.mem.timing`` stay the single source of
+        truth; this asserts each hoisted copy agrees with its source
+        field, so a new timing parameter (or a renamed one) cannot
+        silently fork the two definitions.
+        """
+        mapping = AddressMapping()
+        model = DramModel(timing=preset, mapping=mapping)
+        for field in ("t_refi", "t_rp", "t_rrd", "t_rcd", "t_cas",
+                      "t_cwd", "t_wtr", "t_rtw", "t_wr", "burst_ns"):
+            assert getattr(model, f"_{field}") == getattr(preset, field), field
+        for field in ("line_bytes", "n_channels", "lines_per_row",
+                      "n_banks"):
+            assert getattr(model, f"_{field}") == getattr(mapping, field), field
+
 
 class TestAddressMapping:
     def test_channel_interleaving_at_line_granularity(self):

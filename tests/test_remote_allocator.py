@@ -104,6 +104,38 @@ class TestAcquire:
         granted2, hosts2 = alloc.acquire(leaf_bucket(cfg, 1), lv)
         assert granted2 == 1
 
+    def test_grants_follow_gather_fifo_order(self, setup):
+        """Acquire hands out hosts oldest-gathered first.
+
+        The SoA DeadQ must preserve the FIFO discipline of the paper's
+        on-chip queues end to end: slots gathered earlier (and, within
+        one gather, lower slot indices first) are granted before later
+        ones, across multiple donors and multiple acquires.
+        """
+        cfg, oram, alloc = setup
+        lv = cfg.levels - 1
+        donors = [leaf_bucket(cfg, p) for p in (0, 1, 2)]
+        expected = []
+        for d in donors:
+            make_dead(oram.store, d, [0, 1])
+            alloc.gather(d, lv)
+            expected.extend([(d, 0), (d, 1)])
+        renter = leaf_bucket(cfg, 3)
+        r = cfg.geometry[lv].remote_extension
+        got = []
+        while True:
+            granted, hosts = alloc.acquire(renter, lv)
+            if not granted:
+                break
+            assert granted == r
+            got.extend(hosts)
+            # Release so the next acquire is not capped by the renter;
+            # consuming keeps the slot DEAD (not re-queueable here).
+            for hb, hs in hosts:
+                alloc.consume_remote(renter, (hb, hs))
+        assert got == expected[:len(got)]
+        assert len(got) >= r  # at least one grant exercised the order
+
     def test_zero_extension_levels_never_attempt(self, setup):
         cfg, oram, alloc = setup
         granted, hosts = alloc.acquire(0, 0)

@@ -16,7 +16,10 @@ counter fields alone would not.
 
 import pytest
 
+from repro.analysis.deadblocks import LifetimeTracker
 from repro.core import schemes as schemes_mod
+from repro.core.security import GuessingAttacker
+from repro.oram.recovery import RobustnessConfig
 from repro.sim.engine import SimConfig, Simulation
 from repro.sim.runner import make_trace
 
@@ -60,3 +63,56 @@ def test_sim_stats_match_prevectorization_goldens(scheme):
     assert int(result.dram_reads) == reads
     assert int(result.dram_writes) == writes
     assert result.exec_ns == pytest.approx(exec_ns, rel=0, abs=1e-6)
+
+
+def test_ab_with_datastore_and_observers_matches_goldens():
+    """The AB cell with every optional layer attached, pinned.
+
+    The bare-scheme goldens above run without a datastore or observers,
+    which lets the hot path skip payload capture, per-slot observer
+    events and integrity bookkeeping entirely. This cell turns all of
+    it on -- sealed datastore with the integrity tree, a
+    LifetimeTracker and a GuessingAttacker -- so the *general* refill
+    path (extension acquire/write_remote, remote consumes, observer
+    fan-out) is exercised end to end. The observer and datastore
+    counters are pinned alongside the simulator stats: batching a
+    reshuffle must not change how many events each layer sees, only
+    how they are delivered.
+    """
+    cfg = schemes_mod.by_name("ab", LEVELS)
+    trace = make_trace("spec", "mcf", cfg.n_real_blocks, REQUESTS, seed=SEED)
+    tracker = LifetimeTracker(LEVELS)
+    attacker = GuessingAttacker(LEVELS, seed=SEED)
+    sim = Simulation(cfg, trace, SimConfig(
+        seed=SEED, warmup_requests=0,
+        robustness=RobustnessConfig(integrity=True),
+        observers=[tracker, attacker],
+    ))
+    result = sim.run()
+
+    # Simulator stats: identical to the bare AB golden -- the datastore
+    # and observers are software layers off the DRAM timing path, so
+    # attaching them must not move exec_ns by a single ULP.
+    assert result.exec_ns == pytest.approx(
+        134647.2535211268, rel=0, abs=1e-6)
+    assert int(result.stash_peak) == 56
+    assert int(result.dead_blocks) == 397
+
+    # Observer counters: one event per reclaimed slot, batched or not.
+    assert int(tracker.count.sum()) == 3477
+    assert float(tracker.total.sum()) == 93810.0
+    assert tracker.pending_dead() == 397
+    assert attacker.guesses == 400
+    assert attacker.correct == 36
+    assert attacker.guess_histogram.tolist() == [
+        43, 46, 46, 41, 46, 49, 44, 46, 39]
+
+    # Datastore + integrity tree: seal_many must seal exactly the
+    # slots the per-slot path sealed.
+    rb = result.robustness
+    assert rb["datastore"]["seals"] == 7449
+    assert rb["datastore"]["opens"] == 2916
+    assert rb["integrity"]["updates"] == 7449
+    assert rb["integrity"]["verifications"] == 3316
+
+    sim.oram.check_invariants()
