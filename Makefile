@@ -8,7 +8,7 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: install test bench bench-full figures examples lint perf-smoke \
-	faults-smoke ci clean
+	faults-smoke telemetry-smoke ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -64,8 +64,18 @@ faults-smoke:
 	$(PYTHON) -m repro faults run --smoke \
 	  --out generated/BENCH_faults.json --require-detection
 
-# Mirror of the CI pipeline: lint, tier-1 tests, perf + faults smoke.
-ci: lint test perf-smoke faults-smoke
+# CI telemetry smoke: trace an L12 AB cell, validate the Chrome trace
+# against the schema checker, and bound the telemetry overhead.
+telemetry-smoke:
+	$(PYTHON) -m repro simulate --scheme ab --levels 12 --requests 600 \
+	  --warmup 0 --trace-out generated/BENCH_trace.json
+	$(PYTHON) tools/check_trace.py generated/BENCH_trace.json \
+	  --require-kinds readPath evictPath earlyReshuffle
+	$(PYTHON) tools/telemetry_overhead.py --max-overhead-pct 10
+
+# Mirror of the CI pipeline: lint, tier-1 tests, perf/faults/telemetry
+# smoke.
+ci: lint test perf-smoke faults-smoke telemetry-smoke
 
 # Removes only regenerated artifacts. Committed reference outputs
 # (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.

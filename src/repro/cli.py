@@ -7,7 +7,12 @@ Commands:
 - ``simulate`` -- run one (scheme, benchmark) timing simulation;
   ``--integrity`` seals the data path and verifies it on every read,
   ``--checkpoint-every N --checkpoint PATH`` persists the run and
-  ``--resume PATH`` continues it bit-identically;
+  ``--resume PATH`` continues it bit-identically; ``--trace-out PATH``
+  writes a Perfetto-loadable Chrome trace of every protocol operation
+  and ``--metrics-every N`` controls the JSONL snapshot cadence
+  (telemetry observes only: results stay bit-identical);
+- ``telemetry`` -- ``telemetry view FILE`` renders a telemetry JSONL
+  stream as summary tables;
 - ``sweep``    -- scheme x benchmark matrix with normalized exec times;
 - ``security`` -- the section VI-C guessing-attacker experiment;
 - ``doctor``   -- validate configurations against the soundness rules;
@@ -48,6 +53,7 @@ from repro.perf.profile import SORT_KEYS as PROFILE_SORT_KEYS
 from repro.sim import SimConfig
 from repro.sim.results import breakdown_fractions
 from repro.sim.runner import run_suite, suite_benchmarks
+from repro.telemetry import stderr_progress
 from repro.traces.parsec import parsec_trace
 from repro.traces.spec import spec_trace
 
@@ -96,6 +102,32 @@ def _make_trace(suite: str, bench: str, n_blocks: int, requests: int,
     return factory(bench, n_blocks, requests, seed=seed)
 
 
+def _simulate_telemetry(args: argparse.Namespace):
+    """Build the run's Telemetry handle from --trace-out/--metrics-out."""
+    from repro.telemetry import Telemetry
+
+    if not (args.trace_out or args.metrics_out):
+        return None
+    metrics_out = args.metrics_out
+    if metrics_out is None and args.trace_out:
+        # Default the JSONL stream next to the trace file.
+        metrics_out = os.path.splitext(args.trace_out)[0] + ".jsonl"
+    return Telemetry(
+        trace_path=args.trace_out,
+        metrics_path=metrics_out,
+        metrics_every=args.metrics_every,
+        meta={
+            "scheme": args.scheme,
+            "suite": args.suite,
+            "bench": args.bench,
+            "levels": args.levels,
+            "requests": args.requests,
+            "warmup": args.warmup,
+            "seed": args.seed,
+        },
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.engine import Simulation
 
@@ -103,6 +135,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.checkpoint_every and not ckpt_path:
         print("error: --checkpoint-every requires --checkpoint PATH "
               "(or --resume)", file=sys.stderr)
+        return 2
+    telemetry = _simulate_telemetry(args)
+    if telemetry is not None and (args.resume or args.checkpoint_every):
+        # Checkpoints pickle the whole Simulation; telemetry holds open
+        # file handles and a half-written stream.
+        print("error: --trace-out/--metrics-out cannot be combined with "
+              "checkpointing or --resume", file=sys.stderr)
         return 2
     if args.resume:
         from repro.sim.checkpoint import load_checkpoint
@@ -132,11 +171,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             warmup_requests=args.warmup,
             check_invariants=args.check,
             robustness=robustness,
-        ))
-    result = simulation.run(
-        checkpoint_every=args.checkpoint_every,
-        checkpoint_path=ckpt_path,
-    )
+        ), telemetry=telemetry)
+    try:
+        result = simulation.run(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=ckpt_path,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     fr = breakdown_fractions(result)
     print(render_mapping_table(
         [{
@@ -167,6 +210,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             rows or [{"event": "(none)", "count": 0}],
             title="Robustness events",
         ))
+    if telemetry is not None:
+        if telemetry.trace_path:
+            print(f"\nwrote {telemetry.trace_path} "
+                  f"({len(telemetry.spans)} spans)")
+        if telemetry.metrics_path:
+            print(f"wrote {telemetry.metrics_path} "
+                  f"({telemetry.snapshots} snapshots)")
+    return 0
+
+
+def cmd_telemetry_view(args: argparse.Namespace) -> int:
+    from repro.telemetry import render_stream
+
+    try:
+        print(render_stream(args.file))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -268,8 +329,8 @@ def cmd_perf_run(args: argparse.Namespace) -> int:
         overrides["seed"] = args.seed
     if args.repeats is not None:
         overrides["repeats"] = args.repeats
-    cfg = factory(progress=lambda msg: print(msg, file=sys.stderr),
-                  workers=args.workers, **overrides)
+    cfg = factory(progress=stderr_progress, workers=args.workers,
+                  telemetry=args.telemetry, **overrides)
     doc = run_perf(cfg)
     _ensure_out_dir(args.out)
     with open(args.out, "w") as f:
@@ -346,8 +407,8 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     if args.no_integrity:
         overrides["integrity"] = False
     try:
-        cfg = factory(progress=lambda msg: print(msg, file=sys.stderr),
-                      workers=args.workers, **overrides)
+        cfg = factory(progress=stderr_progress, workers=args.workers,
+                      telemetry=args.telemetry, **overrides)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -455,6 +516,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", default=None, metavar="PATH",
                    help="resume from a checkpoint (continues "
                         "bit-identically; scheme/trace flags are ignored)")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Chrome trace-event JSON (load in Perfetto "
+                        "or chrome://tracing) with one span per protocol "
+                        "operation, in DRAM-model ns; telemetry only "
+                        "observes -- the results stay bit-identical")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="telemetry JSONL stream path (default: derived "
+                        "from --trace-out with a .jsonl suffix)")
+    p.add_argument("--metrics-every", type=int, default=100, metavar="N",
+                   help="snapshot stash/DeadQ/rental state every N "
+                        "requests into the JSONL stream (default: 100; "
+                        "0 disables periodic snapshots)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("sweep", help="scheme x benchmark matrix")
@@ -507,6 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=None)
     pr.add_argument("--repeats", type=int, default=None,
                     help="per-cell repeats; wall time is the best run")
+    pr.add_argument("--telemetry", action="store_true",
+                    help="attach a metrics registry to every cell and add "
+                         "a merged 'telemetry' block to the report "
+                         "(deterministic; identical for any --workers)")
     pr.set_defaults(func=cmd_perf_run)
 
     pp = perf_sub.add_parser(
@@ -569,7 +646,18 @@ def build_parser() -> argparse.ArgumentParser:
     fr.add_argument("--require-detection", action="store_true",
                     help="exit 1 unless every tampering fault (bit flip, "
                         "replay) was detected -- the CI gate")
+    fr.add_argument("--telemetry", action="store_true",
+                    help="attach a metrics registry to every cell and add "
+                         "a merged 'telemetry' block to the report "
+                         "(deterministic; identical for any --workers)")
     fr.set_defaults(func=cmd_faults_run)
+
+    p = sub.add_parser("telemetry", help="inspect telemetry streams")
+    tel_sub = p.add_subparsers(dest="telemetry_command", required=True)
+    tv = tel_sub.add_parser("view", help="render a telemetry JSONL stream")
+    tv.add_argument("file", help="JSONL stream written by --metrics-out "
+                                 "(or derived from --trace-out)")
+    tv.set_defaults(func=cmd_telemetry_view)
 
     p = sub.add_parser("security", help="guessing-attacker experiment")
     p.add_argument("--schemes", nargs="+", default=["baseline", "ab"],

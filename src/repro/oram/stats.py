@@ -45,10 +45,21 @@ class OpKind(enum.Enum):
 
 
 class MemorySink:
-    """Interface controllers talk to. Base implementation ignores everything."""
+    """Interface controllers talk to. Base implementation counts nothing
+    but still enforces operation bracketing: a nested ``begin_op`` or an
+    ``end_op`` without a matching ``begin_op`` is a controller bug every
+    sink must surface, not just the counting ones.
+    """
+
+    _op_kind: Optional[OpKind] = None
 
     def begin_op(self, kind: OpKind) -> None:
         """An operation of class ``kind`` starts."""
+        if self._op_kind is not None:
+            raise RuntimeError(
+                f"nested operation: {kind} inside {self._op_kind}"
+            )
+        self._op_kind = kind
 
     def data_access(
         self,
@@ -134,6 +145,9 @@ class MemorySink:
 
     def end_op(self) -> None:
         """The current operation finished."""
+        if self._op_kind is None:
+            raise RuntimeError("end_op without begin_op")
+        self._op_kind = None
 
 
 @dataclass
@@ -383,8 +397,14 @@ class TeeSink(MemorySink):
         if not sinks:
             raise ValueError("TeeSink needs at least one sink")
         self.sinks = list(sinks)
+        self._current: Optional[OpKind] = None
 
     def begin_op(self, kind: OpKind) -> None:
+        if self._current is not None:
+            raise RuntimeError(
+                f"nested operation: {kind} inside {self._current}"
+            )
+        self._current = kind
         for s in self.sinks:
             s.begin_op(kind)
 
@@ -421,5 +441,8 @@ class TeeSink(MemorySink):
             s.stall(ns)
 
     def end_op(self) -> None:
+        if self._current is None:
+            raise RuntimeError("end_op without begin_op")
+        self._current = None
         for s in self.sinks:
             s.end_op()

@@ -16,6 +16,7 @@ from repro.parallel.executor import (
     derive_seed,
     report_progress,
     run_cells,
+    worker_registry,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "derive_seed",
     "report_progress",
     "run_cells",
+    "worker_registry",
 ]

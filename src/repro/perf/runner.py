@@ -17,8 +17,9 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import schemes as schemes_mod
-from repro.parallel.executor import Cell, report_progress, run_cells
+from repro.parallel.executor import Cell, report_progress, run_cells, worker_registry
 from repro.perf.schema import REPORT_KIND, SCHEMA_VERSION
+from repro.telemetry.metrics import merge_snapshots
 from repro.sim.engine import SimConfig
 from repro.sim.results import SimResult
 from repro.sim.runner import run_suite
@@ -39,6 +40,11 @@ class PerfConfig:
     smoke: bool = False
     workers: int = 1
     progress: Any = None  # callable(str) for live cell updates
+    # Collect a merged metrics-registry snapshot across the sweep.
+    # Excluded from to_dict() (like workers/progress): the config block
+    # is embedded in committed baselines, which must stay byte-stable,
+    # and telemetry never changes what the cells compute.
+    telemetry: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -145,6 +151,23 @@ def _perf_cell_task(payload: Tuple[PerfConfig, str, str]) -> Dict[str, Any]:
     cfg, scheme_name, bench = payload
     report_progress(f"running {scheme_name}/{bench} ...")
     wall, result = _run_one_cell(cfg, scheme_name, bench)
+    if cfg.telemetry:
+        # Only deterministic quantities go into the registry (never
+        # wall time), so the merged snapshot is identical for serial
+        # and parallel sweeps.
+        reg = worker_registry()
+        reg.counter("perf.cells").inc()
+        reg.counter("perf.requests").inc(cfg.n_requests)
+        reg.counter("perf.reshuffles").inc(sum(result.reshuffles_by_level))
+        reg.counter("perf.dram_reads").inc(int(result.dram_reads))
+        reg.counter("perf.dram_writes").inc(int(result.dram_writes))
+        reg.counter("perf.remote_accesses").inc(int(result.remote_accesses))
+        reg.counter("perf.evictions").inc(int(result.evictions))
+        reg.counter("perf.background_accesses").inc(
+            int(result.background_accesses))
+        reg.gauge("perf.stash_peak").set(result.stash_peak)
+        reg.gauge("perf.dead_blocks").set(int(result.dead_blocks))
+        reg.histogram("perf.exec_ns").observe(result.exec_ns)
     return {
         "scheme": scheme_name,
         "trace": bench,
@@ -186,10 +209,17 @@ def run_perf(cfg: Optional[PerfConfig] = None) -> Dict[str, Any]:
                 "trace": bench,
                 "error": res.error,
             })
-    return {
+    doc: Dict[str, Any] = {
         "kind": REPORT_KIND,
         "schema_version": SCHEMA_VERSION,
         "config": cfg.to_dict(),
         "environment": _environment(),
         "cells": cells,
     }
+    if cfg.telemetry:
+        # Fold per-cell registry snapshots in submission order; the
+        # result is independent of worker count and scheduling.
+        doc["telemetry"] = merge_snapshots(
+            [r.metrics for r in outputs if r.metrics is not None]
+        )
+    return doc

@@ -290,12 +290,17 @@ class Simulation:
     """
 
     def __init__(
-        self, cfg: OramConfig, trace: Trace, sim: Optional[SimConfig] = None
+        self,
+        cfg: OramConfig,
+        trace: Trace,
+        sim: Optional[SimConfig] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         sim = sim or SimConfig()
         self.cfg = cfg
         self.trace = trace
         self.sim = sim
+        self.telemetry = telemetry
         # The layout must account for the scheme's metadata record width.
         from repro.core.ab_oram import needs_extensions
         from repro.oram import metadata as md
@@ -311,7 +316,15 @@ class Simulation:
         # CountingSink would cost one extra dispatch per memory touch.
         # Drivers that want protocol tallies attach their own
         # TeeSink(CountingSink(...), DramSink(...)) to a RingOram.
-        sink = self.dram_sink
+        # Telemetry wraps the DramSink in a forwarding TracingSink; the
+        # DRAM model sees the identical request stream, so results stay
+        # bit-identical (SimResult reads self.dram_sink either way).
+        sink: MemorySink = self.dram_sink
+        observers = sim.observers
+        if telemetry is not None:
+            sink = telemetry.tracing_sink(self.dram_sink)
+            if telemetry.observe_events:
+                observers = list(observers) + [telemetry.observer()]
         robustness = sim.robustness
         if robustness is None and sim.fault_plan is not None:
             robustness = RobustnessConfig(integrity=True)
@@ -334,7 +347,7 @@ class Simulation:
                     self.datastore, sim.fault_plan, armed=False
                 )
         self.oram = build_oram(
-            cfg, sink=sink, seed=sim.seed, observers=sim.observers,
+            cfg, sink=sink, seed=sim.seed, observers=observers,
             datastore=self.faulty if self.faulty is not None else self.datastore,
             robustness=robustness,
         )
@@ -376,7 +389,33 @@ class Simulation:
         else:
             self.oram.access(req.block, write=req.write)
         self._i = i + 1
+        t = self.telemetry
+        if (t is not None and t.metrics_every
+                and self._i % t.metrics_every == 0):
+            t.record_snapshot(self.telemetry_record())
         return True
+
+    def telemetry_record(self) -> Dict[str, Any]:
+        """One periodic telemetry snapshot of the live protocol state."""
+        oram = self.oram
+        deadq: Dict[str, int] = {}
+        rentals = 0
+        if oram.ext is not None:
+            deadq = {
+                str(lv): len(q)
+                for lv, q in sorted(oram.ext.queues.queues.items())
+            }
+            rentals = oram.ext.active_rentals()
+        return {
+            "access": self._i,
+            "ns": self.dram_sink.now,
+            "stash_occupancy": oram.stash.occupancy,
+            "stash_peak": oram.stash.peak_occupancy,
+            "deadq_depth": deadq,
+            "rentals_outstanding": rentals,
+            "reshuffles_total": int(oram.store.reshuffles_by_level.sum()),
+            "evictions": oram.evict_counter,
+        }
 
     def run(
         self,
@@ -393,6 +432,10 @@ class Simulation:
             raise ValueError("checkpoint_every must be >= 0")
         if checkpoint_every and not checkpoint_path:
             raise ValueError("checkpoint_every requires a checkpoint path")
+        if checkpoint_every and self.telemetry is not None:
+            # Checkpoints pickle the whole Simulation; telemetry holds
+            # open file handles and half-written streams.
+            raise ValueError("telemetry cannot be combined with checkpointing")
         while self.step():
             if (checkpoint_every and not self.done
                     and self._i % checkpoint_every == 0):
@@ -404,6 +447,10 @@ class Simulation:
             self.oram.flush_recovery()
         if self.sim.check_invariants:
             self.oram.check_invariants()
+        if self.telemetry is not None:
+            # Final state snapshot so short runs (< metrics_every) still
+            # record at least one data point.
+            self.telemetry.record_snapshot(self.telemetry_record())
         return self.result()
 
     # -------------------------------------------------------------- result
@@ -470,6 +517,11 @@ class Simulation:
         )
 
 
-def simulate(cfg: OramConfig, trace: Trace, sim: Optional[SimConfig] = None) -> SimResult:
+def simulate(
+    cfg: OramConfig,
+    trace: Trace,
+    sim: Optional[SimConfig] = None,
+    telemetry: Optional[Any] = None,
+) -> SimResult:
     """Replay ``trace`` against scheme ``cfg`` and measure everything."""
-    return Simulation(cfg, trace, sim).run()
+    return Simulation(cfg, trace, sim, telemetry=telemetry).run()

@@ -1,0 +1,51 @@
+"""``repro.telemetry``: op-span tracing, live metrics, progress output.
+
+The observability layer of the simulator:
+
+- :class:`Telemetry` -- one run's handle: span list, metrics registry,
+  Chrome trace-event + JSONL outputs (see :mod:`repro.telemetry.handle`);
+- :class:`MetricsRegistry` / :func:`merge_snapshots` -- counters,
+  gauges, fixed-bucket histograms, and the process-safe snapshot/merge
+  protocol parallel sweeps use (:mod:`repro.telemetry.metrics`);
+- :class:`TracingSink` / :class:`TelemetryObserver` -- the
+  MemorySink/BaseObserver pair bracketing protocol operations
+  (:mod:`repro.telemetry.spans`);
+- :func:`stderr_progress` -- the shared progress callback with the
+  ``REPRO_QUIET`` escape hatch (:mod:`repro.telemetry.progress`).
+
+Everything here observes and never steers: attaching telemetry to a
+simulation leaves its RNG streams, DRAM timing and ``SimResult``
+bit-identical to a bare run.
+"""
+
+from repro.telemetry.handle import Telemetry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_time_buckets,
+    merge_snapshots,
+    quantiles_from_snapshot,
+)
+from repro.telemetry.progress import quiet, stderr_progress
+from repro.telemetry.spans import TelemetryObserver, TracingSink, trace_event_doc
+from repro.telemetry.view import load_stream, render_stream
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryObserver",
+    "TracingSink",
+    "default_time_buckets",
+    "load_stream",
+    "merge_snapshots",
+    "quantiles_from_snapshot",
+    "quiet",
+    "render_stream",
+    "stderr_progress",
+    "trace_event_doc",
+]

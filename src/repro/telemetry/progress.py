@@ -1,0 +1,32 @@
+"""The shared stderr progress helper.
+
+Every sweep driver used to carry its own
+``lambda msg: print(msg, file=sys.stderr)``; this is the one shared
+implementation, with an escape hatch: setting ``REPRO_QUIET=1`` (or any
+truthy value) in the environment silences progress output entirely --
+useful when a harness scrapes stdout and stderr noise would pollute it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_FALSY = ("", "0", "false", "no")
+
+
+def quiet() -> bool:
+    """True when REPRO_QUIET asks for silent progress."""
+    return os.environ.get("REPRO_QUIET", "").strip().lower() not in _FALSY
+
+
+def stderr_progress(message: str) -> None:
+    """Print one progress line to stderr unless REPRO_QUIET is set.
+
+    The canonical ``progress=`` callback for ``perf run``, ``faults
+    run`` and the simulate CLI path. Checked per call, so flipping the
+    environment variable mid-process takes effect immediately (the
+    fault-campaign tests rely on that).
+    """
+    if not quiet():
+        print(message, file=sys.stderr)

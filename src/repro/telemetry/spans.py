@@ -1,0 +1,165 @@
+"""Op-span tracing: bracket every protocol operation into a timed span.
+
+:class:`TracingSink` wraps the simulation's timing sink (any
+:class:`~repro.oram.stats.MemorySink` with a ``now`` clock attribute,
+i.e. :class:`~repro.sim.engine.DramSink`). It forwards every call
+unchanged -- the DRAM model sees the identical request stream, so
+simulation statistics stay bit-identical -- and stamps each
+``begin_op``/``end_op`` pair with the DRAM-model nanosecond clock:
+``begin_op`` samples the operation's start, ``end_op`` (which rewinds
+the inner clock to the operation's completion time) samples its end.
+
+:class:`TelemetryObserver` is the observer-side half of the pair: a
+:class:`~repro.oram.observer.BaseObserver` that tallies protocol events
+(slot deaths, reclaims by mechanism, reshuffles by kind) into a metrics
+registry. It is attached only on request -- observers make the
+controller build per-read event tuples, which costs more than the
+metrics themselves.
+
+Spans are exported as Chrome trace-event JSON (the ``traceEvents``
+array format), directly loadable in Perfetto / ``chrome://tracing``.
+Trace-event timestamps are microseconds by convention; the nanosecond
+remainder survives because ``ts``/``dur`` are floats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.oram.observer import BaseObserver
+from repro.oram.stats import MemorySink, OpKind
+
+#: One finished span: (op-kind name, start ns, duration ns).
+Span = Tuple[str, float, float]
+
+
+class TracingSink(MemorySink):
+    """Forwarding sink that records one span per protocol operation."""
+
+    def __init__(self, inner: Any, telemetry: Any) -> None:
+        if not hasattr(inner, "now"):
+            raise TypeError(
+                f"TracingSink needs a clocked sink (with .now), "
+                f"got {type(inner).__name__}"
+            )
+        self.inner = inner
+        self.telemetry = telemetry
+        self._kind: Optional[OpKind] = None
+        self._start = 0.0
+
+    def begin_op(self, kind: OpKind) -> None:
+        if self._kind is not None:
+            raise RuntimeError(f"nested operation: {kind} inside {self._kind}")
+        self.inner.begin_op(kind)
+        self._kind = kind
+        self._start = self.inner.now
+
+    def data_access(self, bucket, slot, level, write, onchip=False, remote=False):
+        self.inner.data_access(bucket, slot, level, write,
+                               onchip=onchip, remote=remote)
+
+    def metadata_access(self, bucket, level, write, onchip=False, blocks=1):
+        self.inner.metadata_access(bucket, level, write,
+                                   onchip=onchip, blocks=blocks)
+
+    def data_access_many(self, items, write):
+        self.inner.data_access_many(items, write)
+
+    def data_access_repeat(self, bucket, slot, level, count, write,
+                           onchip=False, remote=False):
+        self.inner.data_access_repeat(bucket, slot, level, count, write,
+                                      onchip=onchip, remote=remote)
+
+    def data_access_block(self, bucket, slots, level, write,
+                          onchip=False, remote=False):
+        self.inner.data_access_block(bucket, slots, level, write,
+                                     onchip=onchip, remote=remote)
+
+    def metadata_access_many(self, items, write, blocks=1):
+        self.inner.metadata_access_many(items, write, blocks=blocks)
+
+    def stall(self, ns: float) -> None:
+        self.inner.stall(ns)
+
+    def end_op(self) -> None:
+        if self._kind is None:
+            raise RuntimeError("end_op without begin_op")
+        self.inner.end_op()
+        # end_op set the inner clock to the operation's completion time.
+        end = self.inner.now
+        kind = self._kind
+        self._kind = None
+        self.telemetry.record_span(str(kind), self._start, end - self._start)
+
+
+class TelemetryObserver(BaseObserver):
+    """Tally controller protocol events into a metrics registry."""
+
+    def __init__(self, registry: Any) -> None:
+        self._deaths = registry.counter("events.slot_dead")
+        self._reclaim_reshuffle = registry.counter("events.reclaimed.reshuffle")
+        self._reclaim_remote = registry.counter("events.reclaimed.remote")
+        self._evictions = registry.counter("events.evict_path")
+        self._reshuffles: Dict[Any, Any] = {}
+        self._registry = registry
+
+    def on_slot_dead(self, bucket: int, slot: int, level: int) -> None:
+        self._deaths.inc()
+
+    def on_slot_reclaimed(self, bucket, slot, level, how) -> None:
+        (self._reclaim_remote if how == "remote"
+         else self._reclaim_reshuffle).inc()
+
+    def on_slots_reclaimed(self, bucket, slots: Sequence[int], level, how) -> None:
+        (self._reclaim_remote if how == "remote"
+         else self._reclaim_reshuffle).inc(len(slots))
+
+    def on_reshuffle(self, bucket, level, kind) -> None:
+        c = self._reshuffles.get(kind)
+        if c is None:
+            c = self._reshuffles[kind] = self._registry.counter(
+                f"events.reshuffle.{kind}"
+            )
+        c.inc()
+
+    def on_evict_path(self, leaf: int) -> None:
+        self._evictions.inc()
+
+
+def trace_event_doc(
+    spans: Sequence[Span], meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON document for ``spans``.
+
+    Every span becomes one complete ("X") event on a single
+    pid/tid track; the simulated controller is sequential, so one
+    timeline is the truthful rendering. ``ts``/``dur`` are in
+    microseconds per the trace-event convention (sub-us resolution is
+    preserved in the float); the original nanosecond values ride in
+    ``args`` for tooling that wants them exact.
+    """
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "args": {"name": "repro-sim"},
+    }]
+    for name, start_ns, dur_ns in spans:
+        events.append({
+            "name": name,
+            "cat": "oram",
+            "ph": "X",
+            "pid": 0,
+            "tid": 0,
+            "ts": start_ns / 1000.0,
+            "dur": dur_ns / 1000.0,
+            "args": {"start_ns": start_ns, "dur_ns": dur_ns},
+        })
+    doc: Dict[str, Any] = {
+        "displayTimeUnit": "ns",
+        "traceEvents": events,
+    }
+    if meta:
+        doc["otherData"] = dict(meta)
+    return doc

@@ -1,0 +1,122 @@
+"""Render a telemetry JSONL stream as text summary tables.
+
+The stream format (written by :class:`~repro.telemetry.handle
+.Telemetry`) is one JSON object per line: a ``meta`` header, zero or
+more ``snapshot`` records, and a trailing ``summary`` with the final
+registry state and per-op span totals. ``repro telemetry view`` feeds a
+stream through :func:`render_stream` for a quick look without firing up
+Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.report import render_mapping_table
+from repro.telemetry.metrics import quantiles_from_snapshot
+
+
+def load_stream(path: str) -> Dict[str, Any]:
+    """Parse one JSONL stream into {meta, snapshots, summary}."""
+    meta: Dict[str, Any] = {}
+    snapshots: List[Dict[str, Any]] = []
+    summary: Dict[str, Any] = {}
+    with open(path) as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: not JSON: {exc}") from exc
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record
+            elif kind == "snapshot":
+                snapshots.append(record)
+            elif kind == "summary":
+                summary = record
+            else:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown record type {kind!r}"
+                )
+    return {"meta": meta, "snapshots": snapshots, "summary": summary}
+
+
+def _span_rows(summary: Dict[str, Any]) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    metrics = summary.get("metrics", {})
+    hists = metrics.get("histograms", {})
+    for op, entry in summary.get("spans", {}).items():
+        count = int(entry["count"])
+        total = float(entry["total_ns"])
+        row: Dict[str, Any] = {
+            "op": op,
+            "spans": count,
+            "total_ns": total,
+            "mean_ns": total / count if count else 0.0,
+        }
+        hist = hists.get(f"op_ns.{op}")
+        if hist:
+            p50, p95, p99 = quantiles_from_snapshot(hist, (0.5, 0.95, 0.99))
+            row.update({"p50_ns": p50, "p95_ns": p95, "p99_ns": p99})
+        rows.append(row)
+    return rows
+
+
+def _snapshot_rows(snapshots: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    if not snapshots:
+        return []
+    last = snapshots[-1]
+    stash = [s.get("stash_occupancy", 0) for s in snapshots]
+    rows = [
+        {"metric": "snapshots", "last": len(snapshots), "peak": None},
+        {"metric": "access", "last": last.get("access"), "peak": None},
+        {"metric": "sim_ns", "last": last.get("ns"), "peak": None},
+        {"metric": "stash_occupancy", "last": last.get("stash_occupancy"),
+         "peak": max(stash)},
+        {"metric": "stash_peak", "last": last.get("stash_peak"), "peak": None},
+        {"metric": "rentals_outstanding",
+         "last": last.get("rentals_outstanding"),
+         "peak": max(s.get("rentals_outstanding", 0) for s in snapshots)},
+        {"metric": "reshuffles_total", "last": last.get("reshuffles_total"),
+         "peak": None},
+        {"metric": "evictions", "last": last.get("evictions"), "peak": None},
+    ]
+    for lv in sorted(last.get("deadq_depth", {}), key=int):
+        depths = [s.get("deadq_depth", {}).get(lv, 0) for s in snapshots]
+        rows.append({
+            "metric": f"deadq_depth.L{lv}",
+            "last": last["deadq_depth"][lv],
+            "peak": max(depths),
+        })
+    return rows
+
+
+def render_stream(path: str) -> str:
+    """The ``repro telemetry view`` text report for one JSONL stream."""
+    stream = load_stream(path)
+    parts: List[str] = []
+    meta = {k: v for k, v in stream["meta"].items() if k != "type"}
+    if meta:
+        parts.append(render_mapping_table([meta], title=f"Telemetry: {path}"))
+    span_rows = _span_rows(stream["summary"])
+    if span_rows:
+        parts.append(render_mapping_table(
+            span_rows, title="Operation spans (DRAM-model ns)"))
+    snap_rows = _snapshot_rows(stream["snapshots"])
+    if snap_rows:
+        parts.append(render_mapping_table(
+            snap_rows, title="State snapshots (last / peak over stream)"))
+    counters = stream["summary"].get("metrics", {}).get("counters", {})
+    event_rows = [
+        {"counter": name, "count": value}
+        for name, value in counters.items() if not name.startswith("ops.")
+    ]
+    if event_rows:
+        parts.append(render_mapping_table(event_rows, title="Counters"))
+    if not parts:
+        return f"{path}: empty telemetry stream"
+    return "\n\n".join(parts)

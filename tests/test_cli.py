@@ -180,3 +180,61 @@ class TestFaultsCli:
                    "--require-detection"])
         assert rc == 1
         assert "DETECTION GAP" in capsys.readouterr().out
+
+
+class TestTelemetryCli:
+    def _simulate(self, tmp_path, *extra):
+        trace_out = str(tmp_path / "trace.json")
+        rc = main(["simulate", "--scheme", "ab", "--levels", "9",
+                   "--requests", "200", "--warmup", "0",
+                   "--trace-out", trace_out, *extra])
+        return rc, trace_out
+
+    def test_trace_out_writes_both_files(self, capsys, tmp_path):
+        import json
+        rc, trace_out = self._simulate(tmp_path)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "spans" in out and "snapshots" in out
+        doc = json.loads(open(trace_out).read())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"readPath", "evictPath"} <= names
+        # The JSONL stream defaults next to the trace file.
+        jsonl = trace_out[:-len(".json")] + ".jsonl"
+        lines = [json.loads(ln) for ln in open(jsonl)]
+        assert lines[0]["type"] == "meta" and lines[0]["scheme"] == "ab"
+        assert lines[-1]["type"] == "summary"
+
+    def test_view_renders_stream(self, capsys, tmp_path):
+        rc, trace_out = self._simulate(tmp_path)
+        assert rc == 0
+        capsys.readouterr()
+        jsonl = trace_out[:-len(".json")] + ".jsonl"
+        assert main(["telemetry", "view", jsonl]) == 0
+        out = capsys.readouterr().out
+        assert "Operation spans" in out
+        assert "readPath" in out
+
+    def test_view_missing_file_errors(self, capsys, tmp_path):
+        assert main(["telemetry", "view",
+                     str(tmp_path / "missing.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_telemetry_rejects_checkpointing(self, capsys, tmp_path):
+        rc, _ = self._simulate(
+            tmp_path, "--checkpoint", str(tmp_path / "c.pkl"),
+            "--checkpoint-every", "50")
+        assert rc == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+    def test_perf_telemetry_block(self, capsys, tmp_path):
+        import json
+        out_path = str(tmp_path / "perf.json")
+        rc = main(["perf", "run", "--smoke", "--schemes", "ab",
+                   "--requests", "120", "--warmup", "30",
+                   "--telemetry", "--out", out_path])
+        assert rc == 0
+        doc = json.loads(open(out_path).read())
+        assert doc["telemetry"]["counters"]["perf.cells"] == 1
+        # The config block stays telemetry-free (baseline stability).
+        assert "telemetry" not in doc["config"]

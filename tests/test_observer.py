@@ -121,3 +121,64 @@ class TestEventStream:
         for i in range(10):
             oram.access(i % cfg_small.n_real_blocks)
         assert len(a.read_paths) == len(b.read_paths) > 0
+
+
+class BatchRecorder(BaseObserver):
+    """Records raw ``on_slots_reclaimed`` batches without fan-out."""
+
+    def __init__(self):
+        self.batches = []
+
+    def on_slots_reclaimed(self, bucket, slots, level, how):
+        self.batches.append(
+            (int(bucket), [int(s) for s in slots], int(level), how)
+        )
+
+
+class TestBatchedReclaimFanout:
+    def test_default_fanout_property(self):
+        """The default on_slots_reclaimed is exactly one scalar call
+        per slot, in batch order, for any inputs."""
+        from hypothesis import given, strategies as st
+
+        @given(
+            bucket=st.integers(min_value=0, max_value=10_000),
+            slots=st.lists(st.integers(min_value=0, max_value=63),
+                           max_size=16),
+            level=st.integers(min_value=0, max_value=30),
+            how=st.sampled_from(["reshuffle", "remote"]),
+        )
+        def check(bucket, slots, level, how):
+            batched, scalar = Recorder(), Recorder()
+            batched.on_slots_reclaimed(bucket, slots, level, how)
+            for slot in slots:
+                scalar.on_slot_reclaimed(bucket, slot, level, how)
+            assert batched.reclaims == scalar.reclaims
+
+        check()
+
+    def test_recorded_ab_reshuffle_batches_replay_to_scalar_stream(
+            self, cfg_ab_small):
+        """For a real AB run, replaying the controller's coalesced
+        reshuffle batches through the default fan-out reproduces the
+        scalar observer's reshuffle-reclaim sequence, order included.
+
+        The controller emits remote reclaims as scalar events and
+        reshuffle reclaims as batches; both observers ride the same
+        run, so the comparison filters the scalar stream down to the
+        reshuffle events the batches cover.
+        """
+        scalar, batch = Recorder(), BatchRecorder()
+        oram = build_oram(cfg_ab_small, seed=3, observers=[scalar, batch])
+        oram.warm_fill()
+        rng = np.random.default_rng(3)
+        for _ in range(250):
+            oram.access(int(rng.integers(cfg_ab_small.n_real_blocks)))
+
+        assert batch.batches, "run produced no batched reclaims"
+        replay = Recorder()
+        for bucket, slots, level, how in batch.batches:
+            assert how == "reshuffle"  # remote reclaims are never batched
+            BaseObserver.on_slots_reclaimed(replay, bucket, slots, level, how)
+        expected = [r for r in scalar.reclaims if r[3] == "reshuffle"]
+        assert replay.reclaims == expected

@@ -65,6 +65,61 @@ def test_sim_stats_match_prevectorization_goldens(scheme):
     assert result.exec_ns == pytest.approx(exec_ns, rel=0, abs=1e-6)
 
 
+def test_ab_with_telemetry_matches_goldens(tmp_path):
+    """Telemetry attached to the golden AB cell changes nothing.
+
+    The TracingSink forwards the identical request stream to the DRAM
+    model and the periodic snapshots only read state, so every golden
+    pin must hold bit-for-bit with tracing on -- and the exported trace
+    must be schema-valid with spans for all three operation classes.
+    """
+    import importlib.util
+    import json
+    import os
+
+    from repro.telemetry import Telemetry, load_stream
+
+    cfg = schemes_mod.by_name("ab", LEVELS)
+    trace = make_trace("spec", "mcf", cfg.n_real_blocks, REQUESTS, seed=SEED)
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "trace.jsonl"
+    telemetry = Telemetry(trace_path=str(trace_path),
+                          metrics_path=str(metrics_path), metrics_every=100)
+    result = Simulation(
+        cfg, trace, SimConfig(seed=SEED, warmup_requests=0),
+        telemetry=telemetry,
+    ).run()
+    telemetry.close()
+
+    reshuffles, stash_peak, dead, reads, writes, exec_ns = GOLDEN["ab"]
+    assert [int(x) for x in result.reshuffles_by_level] == reshuffles
+    assert int(result.stash_peak) == stash_peak
+    assert int(result.dead_blocks) == dead
+    assert int(result.dram_reads) == reads
+    assert int(result.dram_writes) == writes
+    assert result.exec_ns == pytest.approx(exec_ns, rel=0, abs=1e-6)
+
+    # The exported trace passes the same schema gate CI runs.
+    tools = os.path.join(os.path.dirname(__file__), "..", "tools",
+                         "check_trace.py")
+    spec = importlib.util.spec_from_file_location("check_trace", tools)
+    check_trace = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(check_trace)
+    with open(trace_path) as f:
+        doc = json.load(f)
+    errors = check_trace.validate_trace(
+        doc, require_kinds=("readPath", "evictPath", "earlyReshuffle"))
+    assert errors == []
+
+    # The JSONL stream carries the protocol-state snapshots.
+    stream = load_stream(str(metrics_path))
+    assert len(stream["snapshots"]) == REQUESTS // 100 + 1
+    last = stream["snapshots"][-1]
+    assert last["stash_peak"] == stash_peak
+    assert last["reshuffles_total"] == sum(reshuffles)
+    assert last["deadq_depth"]
+
+
 def test_ab_with_datastore_and_observers_matches_goldens():
     """The AB cell with every optional layer attached, pinned.
 

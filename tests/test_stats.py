@@ -122,3 +122,51 @@ class TestBaseSink:
         s.data_access(0, 0, 0, write=False)
         s.metadata_access(0, 0, write=False)
         s.end_op()
+
+
+class TestOpBracketGuards:
+    """Every sink must surface unbalanced begin_op/end_op bracketing.
+
+    A nested begin_op or an end_op without a matching begin_op is a
+    controller bug; historically only CountingSink and DramSink caught
+    it, so a misbracketed run against the base sink (or a TeeSink of
+    silent sinks) went unnoticed. Now the whole sink family guards.
+    """
+
+    def _sinks(self):
+        from repro.mem.dram import DramModel
+        from repro.mem.layout import TreeLayout
+        from repro.sim.engine import DramSink
+        from repro.telemetry import Telemetry, TracingSink
+        from tests.conftest import tiny_config
+
+        cfg = tiny_config()
+        dram = DramSink(TreeLayout(cfg), DramModel())
+        return [
+            MemorySink(),
+            CountingSink(levels=4),
+            TeeSink(MemorySink(), MemorySink()),
+            dram,
+            TracingSink(DramSink(TreeLayout(cfg), DramModel()),
+                        Telemetry()),
+        ]
+
+    def test_end_without_begin_raises_everywhere(self):
+        for s in self._sinks():
+            with pytest.raises(RuntimeError, match="without begin_op"):
+                s.end_op()
+
+    def test_double_begin_raises_everywhere(self):
+        for s in self._sinks():
+            s.begin_op(OpKind.READ_PATH)
+            with pytest.raises(RuntimeError, match="nested"):
+                s.begin_op(OpKind.EVICT_PATH)
+
+    def test_balanced_brackets_recover_after_error(self):
+        for s in self._sinks():
+            with pytest.raises(RuntimeError):
+                s.end_op()
+            s.begin_op(OpKind.READ_PATH)
+            s.end_op()
+            s.begin_op(OpKind.EVICT_PATH)
+            s.end_op()

@@ -1,0 +1,315 @@
+"""Tests for the telemetry subsystem (repro.telemetry).
+
+Covers the metrics registry and its snapshot/merge protocol, the
+Telemetry handle's JSONL + Chrome-trace outputs, the TracingSink's
+observe-only guarantee (bit-identical simulation results), the
+executor-level worker-registry merge, and the shared stderr progress
+helper.
+"""
+
+import json
+
+import pytest
+
+from repro.core import schemes as schemes_mod
+from repro.parallel import Cell, run_cells
+from repro.parallel import testing as ptasks
+from repro.sim.engine import SimConfig, Simulation, simulate
+from repro.sim.runner import make_trace
+from repro.telemetry import (
+    Telemetry,
+    TracingSink,
+    load_stream,
+    merge_snapshots,
+    quantiles_from_snapshot,
+    render_stream,
+    stderr_progress,
+)
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+
+LEVELS = 9
+REQUESTS = 150
+SEED = 3
+
+
+def _small_sim(telemetry=None):
+    cfg = schemes_mod.by_name("ab", LEVELS)
+    trace = make_trace("spec", "mcf", cfg.n_real_blocks, REQUESTS, seed=SEED)
+    return Simulation(cfg, trace, SimConfig(seed=SEED), telemetry=telemetry)
+
+
+class TestInstruments:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert reg.counter("x") is c  # get-or-create returns the same
+
+    def test_gauge_tracks_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g")
+        for v in (3, 9, 2):
+            g.set(v)
+        assert g.value == 2.0
+        assert g.max == 9.0
+
+    def test_histogram_buckets_and_mean(self):
+        h = Histogram(bounds=(10.0, 100.0))
+        for v in (5, 50, 500):
+            h.observe(v)
+        assert h.counts == [1, 1, 1]   # one per bucket incl. overflow
+        assert h.count == 3
+        assert h.mean == pytest.approx(555 / 3)
+
+    def test_histogram_quantile_interpolates(self):
+        h = Histogram(bounds=(10.0, 20.0))
+        for _ in range(10):
+            h.observe(15.0)            # all in the (10, 20] bucket
+        assert 10.0 <= h.quantile(0.5) <= 20.0
+        assert h.quantile(0.0) >= 0.0
+        assert h.quantile(1.0) == 20.0
+
+    def test_histogram_overflow_reports_last_bound(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(99.0)
+        assert h.quantile(0.5) == 2.0
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram(bounds=(2.0, 1.0))
+
+    def test_histogram_empty_bounds_fall_back_to_defaults(self):
+        from repro.telemetry import default_time_buckets
+        assert Histogram(bounds=()).bounds == default_time_buckets()
+
+    def test_registry_rejects_bounds_mismatch(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different bounds"):
+            reg.histogram("h", bounds=(1.0, 3.0))
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError, match="quantile"):
+            Histogram(bounds=(1.0,)).quantile(1.5)
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_sorted_and_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta").inc()
+        reg.counter("alpha").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        json.dumps(snap)  # plain data, round-trippable
+
+    def test_merge_equals_serial_accumulation(self):
+        """Splitting updates across registries then merging in order
+        must equal one registry taking every update in place."""
+        serial = MetricsRegistry()
+        parts = [MetricsRegistry() for _ in range(3)]
+        for i, part in enumerate(parts):
+            for reg in (serial, part):
+                reg.counter("n").inc(i + 1)
+                reg.gauge("last").set(i)
+                reg.histogram("h", bounds=(1.0, 4.0)).observe(float(i))
+        merged = merge_snapshots([p.snapshot() for p in parts])
+        assert merged == serial.snapshot()
+
+    def test_merge_order_sets_gauge_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(10)
+        b.gauge("g").set(3)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["gauges"]["g"] == {"value": 3.0, "max": 10.0}
+
+    def test_merge_rejects_shape_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        reg = MetricsRegistry()
+        reg.merge_snapshot(a.snapshot())
+        with pytest.raises(ValueError, match="bounds"):
+            reg.merge_snapshot(b.snapshot())
+
+    def test_quantiles_from_snapshot(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(10.0, 20.0))
+        for _ in range(100):
+            h.observe(15.0)
+        entry = reg.snapshot()["histograms"]["h"]
+        p50, p95, p99 = quantiles_from_snapshot(entry)
+        assert 10.0 <= p50 <= p95 <= p99 <= 20.0
+
+
+class TestWorkerRegistryMerge:
+    PAYLOADS = [("a", 1), ("b", 7), ("a", 30)]
+
+    def _run(self, workers):
+        cells = [Cell(f"c{i}", p) for i, p in enumerate(self.PAYLOADS)]
+        return run_cells(ptasks.metrics_task, cells, workers=workers)
+
+    def test_cells_ship_snapshots(self):
+        out = self._run(workers=1)
+        assert all(r.ok and r.metrics is not None for r in out)
+        assert out[0].metrics["counters"]["cells"] == 1
+
+    def test_parallel_merge_identical_to_serial(self):
+        serial = self._run(workers=1)
+        par = self._run(workers=2)
+        merged_s = merge_snapshots([r.metrics for r in serial])
+        merged_p = merge_snapshots([r.metrics for r in par])
+        assert merged_s == merged_p
+        assert merged_s["counters"]["cells"] == 3
+        assert merged_s["counters"]["by_name.a"] == 31
+        assert merged_s["gauges"]["last_n"]["max"] == 30.0
+
+    def test_metrics_free_cells_ship_none(self):
+        cells = [Cell(f"c{i}", i) for i in range(3)]
+        for workers in (1, 2):
+            out = run_cells(ptasks.plain_task, cells, workers=workers)
+            assert all(r.ok and r.metrics is None for r in out)
+
+
+class TestTracingSink:
+    def test_requires_clocked_inner(self):
+        from repro.oram.stats import MemorySink
+        with pytest.raises(TypeError, match="clocked"):
+            TracingSink(MemorySink(), Telemetry())
+
+    def test_results_bit_identical_with_telemetry(self):
+        bare = _small_sim().run()
+        with Telemetry() as t:
+            traced = _small_sim(telemetry=t).run()
+        assert traced == bare
+        assert len(t.spans) > 0
+
+    def test_spans_cover_operation_kinds(self):
+        with Telemetry() as t:
+            _small_sim(telemetry=t).run()
+        kinds = {name for name, _, _ in t.spans}
+        assert {"readPath", "evictPath"} <= kinds
+        for _name, start, dur in t.spans:
+            assert start >= 0 and dur >= 0
+
+    def test_span_counters_match_span_list(self):
+        with Telemetry() as t:
+            _small_sim(telemetry=t).run()
+        counters = t.registry.snapshot()["counters"]
+        for name, entry in t.span_summary().items():
+            assert counters[f"ops.{name}"] == entry["count"]
+
+
+class TestTelemetryHandle:
+    def test_rejects_negative_cadence(self):
+        with pytest.raises(ValueError, match="metrics_every"):
+            Telemetry(metrics_every=-1)
+
+    def test_outputs_written_and_loadable(self, tmp_path):
+        trace_path = tmp_path / "out" / "trace.json"
+        metrics_path = tmp_path / "out" / "trace.jsonl"
+        t = Telemetry(trace_path=str(trace_path),
+                      metrics_path=str(metrics_path),
+                      metrics_every=50, meta={"scheme": "ab"})
+        _small_sim(telemetry=t).run()
+        t.close()
+        t.close()  # idempotent
+
+        doc = json.loads(trace_path.read_text())
+        assert doc["displayTimeUnit"] == "ns"
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == len(t.spans)
+        assert doc["otherData"] == {"scheme": "ab"}
+
+        stream = load_stream(str(metrics_path))
+        assert stream["meta"]["scheme"] == "ab"
+        # 150 requests at cadence 50 -> 3 periodic + 1 final snapshot.
+        assert len(stream["snapshots"]) == 4
+        assert stream["summary"]["metrics"]["counters"]["ops.readPath"] > 0
+
+    def test_snapshots_carry_protocol_state(self, tmp_path):
+        metrics_path = tmp_path / "m.jsonl"
+        t = Telemetry(metrics_path=str(metrics_path), metrics_every=50)
+        _small_sim(telemetry=t).run()
+        t.close()
+        last = load_stream(str(metrics_path))["snapshots"][-1]
+        assert last["access"] == REQUESTS
+        assert last["stash_peak"] >= last["stash_occupancy"] >= 0
+        assert last["deadq_depth"], "AB run must report DeadQ depths"
+        assert last["reshuffles_total"] > 0
+        gauges = t.registry.snapshot()["gauges"]
+        assert gauges["stash.peak"]["value"] == last["stash_peak"]
+        for lv, depth in last["deadq_depth"].items():
+            assert gauges[f"deadq.depth.L{lv}"]["value"] == depth
+
+    def test_metrics_every_zero_disables_periodic(self, tmp_path):
+        metrics_path = tmp_path / "m.jsonl"
+        t = Telemetry(metrics_path=str(metrics_path), metrics_every=0)
+        _small_sim(telemetry=t).run()
+        t.close()
+        # Only the run-final snapshot remains.
+        assert len(load_stream(str(metrics_path))["snapshots"]) == 1
+
+    def test_telemetry_incompatible_with_checkpointing(self, tmp_path):
+        sim = _small_sim(telemetry=Telemetry())
+        with pytest.raises(ValueError, match="checkpoint"):
+            sim.run(checkpoint_every=10,
+                    checkpoint_path=str(tmp_path / "ckpt.pkl"))
+
+    def test_render_stream(self, tmp_path):
+        metrics_path = tmp_path / "m.jsonl"
+        t = Telemetry(metrics_path=str(metrics_path), metrics_every=50,
+                      meta={"scheme": "ab"})
+        _small_sim(telemetry=t).run()
+        t.close()
+        text = render_stream(str(metrics_path))
+        assert "Operation spans" in text
+        assert "readPath" in text
+        assert "deadq_depth.L" in text
+
+    def test_load_stream_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record type"):
+            load_stream(str(bad))
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_stream(str(bad))
+
+
+class TestSimulateHelper:
+    def test_module_level_simulate_accepts_telemetry(self):
+        cfg = schemes_mod.by_name("ring", LEVELS)
+        trace = make_trace("spec", "mcf", cfg.n_real_blocks, 60, seed=0)
+        with Telemetry() as t:
+            result = simulate(cfg, trace, SimConfig(seed=0), telemetry=t)
+        assert result.exec_ns > 0
+        assert t.spans
+        # Ring has no extension machinery; snapshots still well-formed.
+        assert t.registry.snapshot()["gauges"]["rentals.outstanding"] == {
+            "value": 0.0, "max": 0.0}
+
+
+class TestStderrProgress:
+    def test_prints_to_stderr(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_QUIET", raising=False)
+        stderr_progress("hello there")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "hello there" in captured.err
+
+    def test_quiet_env_silences(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_QUIET", "1")
+        stderr_progress("should not appear")
+        captured = capsys.readouterr()
+        assert captured.err == ""
+
+    def test_falsy_values_do_not_silence(self, capsys, monkeypatch):
+        for value in ("", "0", "false", "no"):
+            monkeypatch.setenv("REPRO_QUIET", value)
+            stderr_progress("visible")
+        assert capsys.readouterr().err.count("visible") == 4

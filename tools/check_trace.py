@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file written by ``--trace-out``.
+
+A schema checker for the telemetry smoke gate: loads the trace, checks
+the document shape (``traceEvents`` array, ``displayTimeUnit``), checks
+every event against the trace-event format rules the exporter promises
+(complete "X" events with numeric non-negative ``ts``/``dur``, matching
+``args.start_ns``/``args.dur_ns``), and optionally requires specific
+operation kinds to be present (``--require-kinds readPath evictPath``).
+
+Dependency-free by design so it runs in any environment CI does; also
+importable (``validate_trace``) from the test suite.
+
+Usage: ``python tools/check_trace.py TRACE.json
+[--require-kinds KIND ...] [--min-spans N]`` -- exits non-zero with one
+line per finding when the trace is invalid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Sequence
+
+#: Fields every complete ("X") span event must carry.
+_SPAN_FIELDS = ("name", "ph", "pid", "tid", "ts", "dur")
+
+
+def _check_span(event: Dict[str, Any], where: str, errors: List[str]) -> None:
+    for field in _SPAN_FIELDS:
+        if field not in event:
+            errors.append(f"{where}: missing field {field!r}")
+            return
+    for field in ("ts", "dur"):
+        value = event[field]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{where}: {field} must be a number, "
+                          f"got {type(value).__name__}")
+            return
+        if value < 0:
+            errors.append(f"{where}: {field} is negative ({value})")
+    args = event.get("args")
+    if not isinstance(args, dict):
+        errors.append(f"{where}: span events must carry an args dict")
+        return
+    for ns_key, us_key in (("start_ns", "ts"), ("dur_ns", "dur")):
+        if ns_key not in args:
+            errors.append(f"{where}: args missing {ns_key!r}")
+            continue
+        expect = args[ns_key] / 1000.0
+        if abs(event[us_key] - expect) > 1e-6:
+            errors.append(
+                f"{where}: {us_key}={event[us_key]} does not match "
+                f"args.{ns_key}={args[ns_key]} (expected {expect})"
+            )
+
+
+def validate_trace(
+    doc: Any,
+    require_kinds: Sequence[str] = (),
+    min_spans: int = 1,
+) -> List[str]:
+    """All findings for one parsed trace document; empty means valid."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        errors.append(
+            f"displayTimeUnit must be 'ms' or 'ns', "
+            f"got {doc.get('displayTimeUnit')!r}"
+        )
+    spans = 0
+    kinds = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":                      # metadata events: name + args
+            if "name" not in event:
+                errors.append(f"{where}: metadata event without a name")
+            continue
+        if ph != "X":
+            errors.append(f"{where}: unexpected phase {ph!r} "
+                          "(exporter emits only X and M events)")
+            continue
+        spans += 1
+        kinds.add(event.get("name"))
+        _check_span(event, where, errors)
+    if spans < min_spans:
+        errors.append(f"expected at least {min_spans} span events, "
+                      f"found {spans}")
+    for kind in require_kinds:
+        if kind not in kinds:
+            errors.append(f"required operation kind {kind!r} has no spans "
+                          f"(present: {sorted(k for k in kinds if k)})")
+    return errors
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require-kinds", nargs="+", default=(),
+                        metavar="KIND",
+                        help="operation kinds that must have spans "
+                             "(e.g. readPath evictPath earlyReshuffle)")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="minimum number of span events (default: 1)")
+    args = parser.parse_args(argv)
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.trace}: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_trace(doc, require_kinds=args.require_kinds,
+                            min_spans=args.min_spans)
+    for error in errors:
+        print(f"{args.trace}: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    spans = sum(1 for e in doc["traceEvents"]
+                if isinstance(e, dict) and e.get("ph") == "X")
+    print(f"{args.trace}: valid trace ({spans} spans)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
