@@ -8,7 +8,7 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: install test bench bench-full figures examples lint perf-smoke \
-	faults-smoke telemetry-smoke ci clean
+	faults-smoke telemetry-smoke serve-smoke ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -73,9 +73,23 @@ telemetry-smoke:
 	  --require-kinds readPath evictPath earlyReshuffle
 	$(PYTHON) tools/telemetry_overhead.py --max-overhead-pct 10
 
-# Mirror of the CI pipeline: lint, tier-1 tests, perf/faults/telemetry
-# smoke.
-ci: lint test perf-smoke faults-smoke telemetry-smoke
+# CI serving smoke: open-loop workloads through the batching scheduler;
+# fails unless batch scheduling beats naive FIFO on oblivious accesses.
+# Also writes a per-request Perfetto trace and validates it, then
+# soft-compares latency percentiles against the committed baseline.
+serve-smoke:
+	$(PYTHON) -m repro serve bench --smoke \
+	  --out generated/BENCH_serve.json \
+	  --trace-out generated/trace_serve.json --require-dedup-win
+	$(PYTHON) tools/check_trace.py generated/trace_serve.json \
+	  --require-kinds readPath evictPath queue get --min-spans 500
+	$(PYTHON) -m repro serve compare \
+	  benchmarks/baselines/BENCH_serve_smoke.json \
+	  generated/BENCH_serve.json --warn-only
+
+# Mirror of the CI pipeline: lint, tier-1 tests, perf/faults/telemetry/
+# serve smoke.
+ci: lint test perf-smoke faults-smoke telemetry-smoke serve-smoke
 
 # Removes only regenerated artifacts. Committed reference outputs
 # (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.

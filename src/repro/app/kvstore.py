@@ -143,6 +143,50 @@ class ObliviousKV:
         self.gets += 1
         return b"".join(self._read_block(block) for block in chain)
 
+    def chain_of(self, key) -> Optional[List[int]]:
+        """Client-side chain lookup (never touches the server).
+
+        The serving scheduler uses this to reason about chain lengths
+        (e.g. coalescing multi-chunk reads) without issuing accesses.
+        """
+        chain = self._directory.get(self._normalize(key))
+        return list(chain) if chain is not None else None
+
+    def preload(self, items) -> int:
+        """Bulk-load ``(key, value)`` pairs without oblivious accesses.
+
+        Serving benchmarks start from a populated store; populating a
+        million-key store through one full ORAM access per chunk would
+        dwarf the measured workload. Only the plaintext payload path
+        supports this (the sealed path would need per-slot re-sealing);
+        the tree placement itself already happened in ``warm_fill``.
+        Returns the number of ORAM blocks consumed.
+        """
+        used = 0
+        for key, value in items:
+            key = self._normalize(key)
+            if not isinstance(value, (bytes, bytearray)):
+                raise TypeError(f"values must be bytes, got {type(value)}")
+            value = bytes(value)
+            if key in self._directory:
+                raise ValueError(f"preload of existing key {key!r}")
+            need = self._chunks_for(len(value))
+            if need > len(self._free):
+                raise KVFullError(
+                    f"no free blocks ({len(self._directory)} keys stored)"
+                )
+            chain = [self._free.pop() for _ in range(need)]
+            for i, block in enumerate(chain):
+                piece = value[
+                    i * self.chunk_payload:(i + 1) * self.chunk_payload
+                ]
+                self.oram.preload_value(
+                    block, _HEADER.pack(len(piece)) + piece
+                )
+            self._directory[key] = chain
+            used += need
+        return used
+
     def delete(self, key) -> bool:
         """Remove ``key``; frees its blocks. Returns True if it existed."""
         key = self._normalize(key)

@@ -24,11 +24,20 @@ Commands:
 - ``faults``   -- the robustness harness: ``faults run [--smoke]``
   sweeps fault kind x rate against the integrity-verified data path
   and emits generated/BENCH_faults.json; ``--require-detection`` fails
-  unless every tampering fault was caught (the CI gate).
+  unless every tampering fault was caught (the CI gate);
+- ``serve``    -- the serving harness: ``serve bench [--smoke]``
+  replays seed-pinned open-loop workloads (Poisson / bursty arrivals,
+  zipf popularity) through the batching request scheduler over the
+  oblivious KV store and emits generated/BENCH_serve.json with
+  wall-clock and simulated-DRAM-ns latency percentiles;
+  ``--require-dedup-win`` fails unless the batch policy beats naive
+  FIFO (the CI gate); ``--trace-out`` writes a per-request Perfetto
+  timeline; ``serve compare`` diffs two reports; ``serve demo`` runs
+  the threaded KV server front-end against live client threads.
 
-``sweep``, ``perf run`` and ``faults run`` all accept ``--workers N``
-to fan their independent cells over a process pool; the deterministic
-report content never depends on the worker count.
+``sweep``, ``perf run``, ``faults run`` and ``serve bench`` all accept
+``--workers N`` to fan their independent cells over a process pool;
+the deterministic report content never depends on the worker count.
 
 Every command prints the same text tables the benchmarks emit, so the
 CLI doubles as a quick reproduction console.
@@ -449,6 +458,116 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import (
+        dedup_check, full_config, run_serve, smoke_config,
+    )
+    from repro.serve.report import render_report
+    from repro.serve.schema import validate_report
+    import json
+
+    factory = smoke_config if args.smoke else full_config
+    overrides = {}
+    if args.levels is not None:
+        overrides["levels"] = args.levels
+    if args.scheme is not None:
+        overrides["scheme"] = args.scheme
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.max_batch is not None:
+        overrides["max_batch"] = args.max_batch
+    if args.trace_out is not None:
+        overrides["trace_out"] = args.trace_out
+    cfg = factory(progress=stderr_progress, workers=args.workers,
+                  **overrides)
+    doc = run_serve(cfg)
+    errors = validate_report(doc)
+    if errors:
+        for e in errors:
+            print(f"error: report self-check failed: {e}", file=sys.stderr)
+        return 2
+    _ensure_out_dir(args.out)
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(render_report(doc))
+    print(f"\nwrote {args.out}")
+    if args.trace_out:
+        print(f"wrote {args.trace_out}")
+    if args.require_dedup_win:
+        problems = dedup_check(doc)
+        if problems:
+            for line in problems:
+                print(f"DEDUP GAP {line}")
+            return 1
+        print("dedup check: batch policy beats naive FIFO")
+    return 0
+
+
+def cmd_serve_compare(args: argparse.Namespace) -> int:
+    from repro.serve.compare import EXIT_OK, compare_files
+
+    code, messages = compare_files(args.baseline, args.new,
+                                   threshold_pct=args.threshold)
+    for msg in messages:
+        print(msg)
+    if args.warn_only and code != EXIT_OK:
+        print(f"(warn-only: suppressing exit code {code})")
+        return EXIT_OK
+    return code
+
+
+def cmd_serve_demo(args: argparse.Namespace) -> int:
+    """Exercise the threaded front-end with live client threads."""
+    import threading
+
+    from repro.serve import GET, KVServer, build_stack
+    from repro.serve.loadgen import key_name, value_for
+
+    stack = build_stack(scheme=args.scheme, levels=args.levels,
+                        seed=args.seed, observer=True)
+    server = KVServer(stack.kv, policy=args.policy,
+                      max_batch=args.max_batch, seed=args.seed)
+    n_keys = max(2, args.requests // 8)
+
+    def client(cid: int) -> None:
+        rng = np.random.default_rng(args.seed * 1000 + cid)
+        for i in range(args.requests // args.clients):
+            key = key_name(int(rng.integers(n_keys)))
+            if rng.random() < 0.5:
+                value = value_for(key, cid * 100_000 + i)
+                server.put(key, value)
+            else:
+                server.submit(GET, key)
+
+    threads = [threading.Thread(target=client, args=(c,))
+               for c in range(args.clients)]
+    with server:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    stats = server.stats()
+    print(render_mapping_table(
+        [{
+            "requests": stats["requests"],
+            "batches": stats["batches"],
+            "dedup_hits": stats["dedup_hits"],
+            "coalesced_puts": stats["coalesced_puts"],
+            "accesses": stats["accesses_issued"],
+            "mean_batch": (stats["requests"] / stats["batches"]
+                           if stats["batches"] else 0.0),
+        }],
+        title=f"serve demo: {args.clients} clients x "
+              f"{args.requests // args.clients} ops ({args.policy})",
+    ))
+    if stack.attacker is not None:
+        print(f"attacker advantage: {stack.attacker.advantage():+.4f} "
+              f"(success {stack.attacker.success_rate:.4f}, "
+              f"expected {stack.attacker.expected_rate:.4f})")
+    return 0
+
+
 def cmd_security(args: argparse.Namespace) -> int:
     rows = []
     for name in args.schemes:
@@ -652,6 +771,60 @@ def build_parser() -> argparse.ArgumentParser:
                          "(deterministic; identical for any --workers)")
     fr.set_defaults(func=cmd_faults_run)
 
+    p = sub.add_parser("serve", help="serving harness (bench / compare / "
+                                     "demo)")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    sb = serve_sub.add_parser("bench", help="replay open-loop workloads "
+                                            "through the batching scheduler")
+    sb.add_argument("--smoke", action="store_true",
+                    help="seconds-scale matrix for CI")
+    sb.add_argument("--out", default="generated/BENCH_serve.json",
+                    help="report path (default: generated/BENCH_serve.json; "
+                         "the directory is created if missing)")
+    sb.add_argument("--workers", type=int, default=1,
+                    help="process-pool width for the workload x policy "
+                         "cells; the sim blocks are byte-identical to "
+                         "--workers 1, only wall_* fields are "
+                         "host-dependent")
+    sb.add_argument("--scheme", default=None, choices=ALL_SCHEMES)
+    sb.add_argument("--levels", type=int, default=None)
+    sb.add_argument("--seed", type=int, default=None)
+    sb.add_argument("--max-batch", type=int, default=None,
+                    help="admission batch cap per scheduling round")
+    sb.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a per-request Perfetto trace of the most "
+                         "loaded (workload, batch) cell: queue spans, "
+                         "service spans, and ORAM op spans on separate "
+                         "tracks, all in simulated DRAM ns")
+    sb.add_argument("--require-dedup-win", action="store_true",
+                    help="exit 1 unless the batch policy issues fewer "
+                         "oblivious accesses than naive FIFO on workloads "
+                         "that expect it -- the CI gate")
+    sb.set_defaults(func=cmd_serve_bench)
+
+    sc = serve_sub.add_parser("compare", help="diff two serve reports")
+    sc.add_argument("baseline", help="baseline BENCH_serve.json")
+    sc.add_argument("new", help="candidate BENCH_serve.json")
+    sc.add_argument("--threshold", type=float, default=10.0,
+                    help="max tolerated simulated-throughput drop or p99 "
+                         "rise, percent")
+    sc.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0 (CI soft gate)")
+    sc.set_defaults(func=cmd_serve_compare)
+
+    sd = serve_sub.add_parser("demo", help="threaded KV server demo with "
+                                           "live client threads")
+    sd.add_argument("--scheme", default="ab", choices=ALL_SCHEMES)
+    sd.add_argument("--levels", type=int, default=10)
+    sd.add_argument("--seed", type=int, default=0)
+    sd.add_argument("--clients", type=int, default=4)
+    sd.add_argument("--requests", type=int, default=200,
+                    help="total operations across all clients")
+    sd.add_argument("--policy", default="batch", choices=["fifo", "batch"])
+    sd.add_argument("--max-batch", type=int, default=32)
+    sd.set_defaults(func=cmd_serve_demo)
+
     p = sub.add_parser("telemetry", help="inspect telemetry streams")
     tel_sub = p.add_subparsers(dest="telemetry_command", required=True)
     tv = tel_sub.add_parser("view", help="render a telemetry JSONL stream")
@@ -675,11 +848,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv = sys.argv[1:]
     argv = list(argv)
     # ``python -m repro perf --smoke`` is sugar for ``perf run --smoke``
-    # (and likewise for ``faults``).
+    # (and likewise for ``faults``; ``serve`` defaults to its bench).
     if argv and argv[0] in ("perf", "faults") and (
         len(argv) == 1 or argv[1].startswith("-")
     ):
         argv.insert(1, "run")
+    if argv and argv[0] == "serve" and (
+        len(argv) == 1 or argv[1].startswith("-")
+    ):
+        argv.insert(1, "bench")
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

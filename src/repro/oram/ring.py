@@ -190,6 +190,26 @@ class RingOram:
     def write(self, block: int, value: Any) -> None:
         self.access(block, write=True, value=value)
 
+    def preload_value(self, block: int, value: Any) -> None:
+        """Seed a block's payload without an oblivious access.
+
+        Bulk-loading hook for drivers that populate a store before a
+        measured run (the tree placement itself is ``warm_fill``'s
+        job). Only the plaintext ``store_data`` payload path supports
+        it -- the sealed path would have to locate and re-seal the
+        block's slot, which is exactly the oblivious access this hook
+        exists to avoid.
+        """
+        if not 0 <= block < self.cfg.n_real_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self.cfg.n_real_blocks})"
+            )
+        if self._data is None:
+            raise ProtocolError(
+                "preload_value requires the plaintext store_data payload path"
+            )
+        self._data[block] = value
+
     def warm_fill(self) -> int:
         """Pre-place every block in the tree (random leaf, deepest fit).
 

@@ -1,0 +1,49 @@
+"""``repro.serve``: a request front-end over the oblivious KV store.
+
+The serving layer turns the single-caller
+:class:`~repro.app.kvstore.ObliviousKV` into a *system*:
+
+- :mod:`repro.serve.request` -- the request/completion records every
+  layer exchanges;
+- :mod:`repro.serve.scheduler` -- the batching scheduler: admits one
+  oblivious access at a time but batches and reorders queued clients,
+  deduping same-block hits (the block is stash-resident after the
+  first access) and coalescing superseded writes;
+- :mod:`repro.serve.loadgen` -- the open-loop load generator:
+  seed-pinned Poisson and bursty arrivals, zipf key popularity over
+  key universes up to millions of keys;
+- :mod:`repro.serve.replay` -- drives a generated workload through the
+  scheduler on the simulated DRAM-ns clock (open loop: arrivals never
+  wait for service, so queueing is measured honestly);
+- :mod:`repro.serve.server` -- a thread-pool front-end for wall-clock
+  serving: clients submit concurrently, one scheduler thread services
+  batches;
+- :mod:`repro.serve.bench` / :mod:`~repro.serve.schema` /
+  :mod:`~repro.serve.compare` / :mod:`~repro.serve.report` -- the
+  ``BENCH_serve.json`` harness (the tail-latency yardstick CI gates);
+- :mod:`repro.serve.tracing` -- per-request Perfetto traces splitting
+  queueing vs. ORAM vs. DRAM time.
+"""
+
+from repro.serve.loadgen import WorkloadConfig, generate_requests, key_name, value_for
+from repro.serve.request import DELETE, GET, PUT, Completion, Request
+from repro.serve.scheduler import BatchScheduler
+from repro.serve.server import KVServer
+from repro.serve.stack import ServedStack, build_stack, preload_keys
+
+__all__ = [
+    "BatchScheduler",
+    "Completion",
+    "DELETE",
+    "GET",
+    "KVServer",
+    "PUT",
+    "Request",
+    "ServedStack",
+    "WorkloadConfig",
+    "build_stack",
+    "generate_requests",
+    "key_name",
+    "preload_keys",
+    "value_for",
+]

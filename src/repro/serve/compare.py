@@ -1,0 +1,146 @@
+"""Diff two serve reports: the latency/throughput regression gate.
+
+``compare_reports`` matches cells by (workload, policy) and checks the
+new report against the baseline on the *simulated* metrics -- they are
+deterministic for a code version, so any delta is a real behavioural
+change, not runner noise:
+
+- simulated throughput (``requests_per_s_sim``) dropping by more than
+  ``threshold`` percent is a regression;
+- simulated p99 latency (``latency_ns.p99``) rising by more than
+  ``threshold`` percent is a regression;
+- other deterministic drift (dedup hits, access counts, batch shapes)
+  is reported but never gates -- scheduler changes legitimately move
+  them and must be reviewed, not blocked.
+
+Exit codes mirror :mod:`repro.perf.compare`: 0 ok, 1 regression,
+2 schema/load/missing-cell error. CI runs the smoke compare with
+``--warn-only`` so a reviewed improvement can land alongside its
+baseline refresh.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.serve.schema import cell_key, validate_report
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_ERROR = 2
+
+DEFAULT_THRESHOLD_PCT = 10.0
+
+#: Deterministic scalars diffed for the drift note (never gating).
+_DRIFT_FIELDS = (
+    "accesses_issued", "dedup_hits", "coalesced_puts",
+    "absent_gets", "requests",
+)
+
+
+def load_report(path: str) -> Tuple[Any, List[str]]:
+    """Parse and validate one report file; returns (doc, errors)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return None, [f"{path}: cannot load report: {exc}"]
+    errors = [f"{path}: {e}" for e in validate_report(doc)]
+    return doc, errors
+
+
+def compare_reports(
+    baseline: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> Tuple[int, List[str]]:
+    """Compare two validated reports; returns (exit_code, messages)."""
+    messages: List[str] = []
+    base_cells = {cell_key(c): c for c in baseline["cells"]}
+    new_cells = {cell_key(c): c for c in new["cells"]}
+    exit_code = EXIT_OK
+
+    def regress(msg: str) -> None:
+        nonlocal exit_code
+        messages.append(msg)
+        if exit_code == EXIT_OK:
+            exit_code = EXIT_REGRESSION
+
+    for key, base in base_cells.items():
+        if key not in new_cells:
+            messages.append(f"ERROR {key}: cell missing from new report")
+            exit_code = EXIT_ERROR
+            continue
+        cur = new_cells[key]
+        if "error" in base:
+            messages.append(f"ERROR {key}: baseline cell is an error entry")
+            exit_code = EXIT_ERROR
+            continue
+        if "error" in cur:
+            first = str(cur["error"]).strip().splitlines()
+            messages.append(
+                f"ERROR {key}: cell errored in new report: "
+                f"{first[0] if first else 'cell failed'}"
+            )
+            exit_code = EXIT_ERROR
+            continue
+        base_sim, cur_sim = base["sim"], cur["sim"]
+        old_tp = float(base_sim["requests_per_s_sim"])
+        new_tp = float(cur_sim["requests_per_s_sim"])
+        old_p99 = float(base_sim["latency_ns"]["p99"])
+        new_p99 = float(cur_sim["latency_ns"]["p99"])
+        if old_tp <= 0 or old_p99 <= 0:
+            messages.append(
+                f"ERROR {key}: degenerate baseline "
+                f"(tp={old_tp}, p99={old_p99})"
+            )
+            exit_code = EXIT_ERROR
+            continue
+        tp_pct = (new_tp - old_tp) / old_tp * 100.0
+        p99_pct = (new_p99 - old_p99) / old_p99 * 100.0
+        drifted = _sim_drift(base_sim, cur_sim)
+        note = f" (drift: {', '.join(drifted)})" if drifted else ""
+        line = (
+            f"{key}: {old_tp:.0f} -> {new_tp:.0f} req/s sim "
+            f"({tp_pct:+.1f}%), p99 {old_p99:.0f} -> {new_p99:.0f} ns "
+            f"({p99_pct:+.1f}%){note}"
+        )
+        if tp_pct < -threshold_pct:
+            regress(
+                f"REGRESSION {line} -- throughput drop exceeds "
+                f"-{threshold_pct:g}%"
+            )
+        elif p99_pct > threshold_pct:
+            regress(
+                f"REGRESSION {line} -- p99 latency rise exceeds "
+                f"+{threshold_pct:g}%"
+            )
+        else:
+            messages.append(f"OK {line}")
+    for key in new_cells:
+        if key not in base_cells:
+            messages.append(f"NEW {key}: no baseline entry (matrix grew)")
+    return exit_code, messages
+
+
+def _sim_drift(base_sim: Dict[str, Any], new_sim: Dict[str, Any]) -> List[str]:
+    """Names of deterministic scalars that changed between reports."""
+    return [
+        k for k in _DRIFT_FIELDS
+        if base_sim.get(k) != new_sim.get(k)
+    ]
+
+
+def compare_files(
+    baseline_path: str,
+    new_path: str,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+) -> Tuple[int, List[str]]:
+    """File-level entry: load, validate, compare."""
+    base, base_errs = load_report(baseline_path)
+    new, new_errs = load_report(new_path)
+    errors = base_errs + new_errs
+    if errors:
+        return EXIT_ERROR, [f"ERROR {e}" for e in errors]
+    return compare_reports(base, new, threshold_pct)

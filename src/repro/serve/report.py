@@ -1,0 +1,47 @@
+"""Human-readable rendering of serve reports."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis.report import render_mapping_table
+from repro.serve.schema import cell_key
+
+
+def render_report(doc: Dict[str, Any]) -> str:
+    """Text table of one report's cells."""
+    cfg = doc["config"]
+    rows = []
+    errored = []
+    for cell in doc["cells"]:
+        if "error" in cell:
+            errored.append(cell)
+            continue
+        sim = cell["sim"]
+        rows.append({
+            "cell": cell_key(cell),
+            "req_per_s_sim": sim["requests_per_s_sim"],
+            "acc_per_req": sim["accesses_per_request"],
+            "dedup": sim["dedup_hits"],
+            "coalesced": sim["coalesced_puts"],
+            "p50_us": sim["latency_ns"]["p50"] / 1000.0,
+            "p99_us": sim["latency_ns"]["p99"] / 1000.0,
+            "p999_us": sim["latency_ns"]["p999"] / 1000.0,
+            "wall_s": cell["wall_s"],
+        })
+    flavor = "smoke" if cfg.get("smoke") else "full"
+    title = (
+        f"serve matrix ({flavor}): {cfg['scheme']} L={cfg['levels']} "
+        f"max_batch={cfg['max_batch']} seed={cfg['seed']}"
+    )
+    lines = []
+    if rows:
+        lines.append(render_mapping_table(rows, title=title))
+    else:
+        lines.append(f"{title}\n(no completed cells)")
+    for cell in errored:
+        first = str(cell["error"]).strip().splitlines()
+        lines.append(
+            f"ERROR {cell_key(cell)}: {first[0] if first else 'cell failed'}"
+        )
+    return "\n".join(lines)

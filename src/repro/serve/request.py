@@ -1,0 +1,79 @@
+"""Request and completion records exchanged by the serving layers.
+
+A :class:`Request` is one client operation with an arrival timestamp;
+the clock domain is the caller's choice (simulated DRAM nanoseconds in
+:mod:`repro.serve.replay`, wall nanoseconds in
+:mod:`repro.serve.server`). A :class:`Completion` is the scheduler's
+answer: the value (for gets), the exact service window on the same
+clock, and how the request was served (its own oblivious accesses, a
+dedup hit off a batch-mate's access, or a coalesced write).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Operation kinds (string constants keep records JSON-friendly).
+GET = "get"
+PUT = "put"
+DELETE = "delete"
+
+OPS = (GET, PUT, DELETE)
+
+
+@dataclass
+class Request:
+    """One client operation waiting to be served."""
+
+    rid: int
+    op: str
+    key: bytes
+    value: Optional[bytes] = None
+    arrival_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown op {self.op!r} (expected one of {OPS})")
+        if self.op == PUT and self.value is None:
+            raise ValueError(f"put request {self.rid} carries no value")
+
+
+@dataclass
+class Completion:
+    """The scheduler's answer to one request.
+
+    ``start_ns`` is when the operation that produced this answer began
+    (for a dedup hit or coalesced write, the *shared* operation's
+    start); ``done_ns`` is when the answer became available. Queueing
+    time is ``start_ns - arrival_ns``, service time ``done_ns -
+    start_ns``, end-to-end latency ``done_ns - arrival_ns``.
+    """
+
+    rid: int
+    op: str
+    key: bytes
+    value: Optional[bytes]
+    ok: bool
+    arrival_ns: float
+    start_ns: float
+    done_ns: float
+    accesses: int = 0
+    dedup: bool = False
+    coalesced: bool = False
+    #: Host wall time spent in the executing operation (seconds);
+    #: shared by every waiter of a deduped access. Host-dependent --
+    #: never part of the deterministic report fields.
+    wall_s: float = field(default=0.0, repr=False)
+
+    @property
+    def latency_ns(self) -> float:
+        return self.done_ns - self.arrival_ns
+
+    @property
+    def queue_ns(self) -> float:
+        return self.start_ns - self.arrival_ns
+
+    @property
+    def service_ns(self) -> float:
+        return self.done_ns - self.start_ns

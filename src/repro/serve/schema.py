@@ -1,0 +1,218 @@
+"""The ``BENCH_serve.json`` report format.
+
+Plain validation code, no third-party schema libraries (same rule as
+:mod:`repro.perf.schema`). Top-level document::
+
+    {
+      "kind": "repro-serve-report",
+      "schema_version": 1,
+      "config":      { scheme/levels/seed/policies/max_batch,
+                       "workloads": [ workload dicts ], "smoke": bool },
+      "environment": { "python": ..., "numpy": ..., "platform": ... },
+      "cells":       [ { cell }, ... ]
+    }
+
+One cell per (workload, policy) pair::
+
+    {
+      "workload": "zipf-bursty", "policy": "batch",
+      "wall_s": 1.2,                  # host-dependent
+      "requests_per_s_wall": 1630.0,  # host-dependent
+      "wall_latency_us": {"p50": ..., "p99": ..., "p999": ...},  # host-dep.
+      "sim": {                        # deterministic for a code version
+        "requests": ..., "accesses_issued": ..., "dedup_hits": ...,
+        "coalesced_puts": ..., "absent_gets": ...,
+        "accesses_per_request": ...,
+        "ops": {"get": ..., "put": ..., "delete": ...},
+        "batch_size_hist": [[size, count], ...],
+        "sim_ns": ..., "requests_per_s_sim": ...,
+        "latency_ns": {"p50","p99","p999","mean","max"},
+        "queue_ns":   { same },
+        "service_ns": { same },
+        "security": {"guesses","success_rate","expected_rate","advantage"}
+      }
+    }
+
+The ``sim`` block is a pure function of the config (seeded workload
+generation, seeded ORAM, event-based DRAM timing), so CI asserts it is
+byte-identical across runs and worker counts; ``wall_*`` fields are
+the only host-dependent numbers, and :func:`deterministic_view` strips
+exactly those (plus ``environment``) for the identity check.
+
+Error cells mirror the perf schema::
+
+    { "workload": "...", "policy": "...", "error": "<traceback>" }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+SCHEMA_VERSION = 1
+REPORT_KIND = "repro-serve-report"
+
+_CONFIG_FIELDS = {
+    "scheme": str,
+    "levels": int,
+    "seed": int,
+    "max_batch": int,
+    "policies": list,
+    "workloads": list,
+    "smoke": bool,
+}
+
+_CELL_FIELDS = {
+    "workload": str,
+    "policy": str,
+    "wall_s": (int, float),
+    "requests_per_s_wall": (int, float),
+    "wall_latency_us": dict,
+    "sim": dict,
+}
+
+_ERROR_CELL_FIELDS = {
+    "workload": str,
+    "policy": str,
+    "error": str,
+}
+
+_SIM_FIELDS = {
+    "requests": int,
+    "accesses_issued": int,
+    "dedup_hits": int,
+    "coalesced_puts": int,
+    "absent_gets": int,
+    "accesses_per_request": (int, float),
+    "ops": dict,
+    "batch_size_hist": list,
+    "sim_ns": (int, float),
+    "requests_per_s_sim": (int, float),
+    "latency_ns": dict,
+    "queue_ns": dict,
+    "service_ns": dict,
+}
+
+_PCTL_FIELDS = ("p50", "p99", "p999")
+
+#: Host-dependent per-cell fields, stripped by :func:`deterministic_view`.
+HOST_DEPENDENT_CELL_FIELDS = ("wall_s", "requests_per_s_wall",
+                              "wall_latency_us")
+
+
+def _check_fields(
+    obj: Dict[str, Any], fields: Dict[str, Any], where: str, errors: List[str]
+) -> None:
+    for name, typ in fields.items():
+        if name not in obj:
+            errors.append(f"{where}: missing field {name!r}")
+            continue
+        val = obj[name]
+        if typ is bool:
+            ok = isinstance(val, bool)
+        elif isinstance(val, bool):
+            ok = False
+        else:
+            ok = isinstance(val, typ)
+        if not ok:
+            errors.append(
+                f"{where}: field {name!r} has type "
+                f"{type(val).__name__}, expected {typ}"
+            )
+
+
+def _check_percentiles(
+    obj: Any, where: str, errors: List[str]
+) -> None:
+    if not isinstance(obj, dict):
+        errors.append(f"{where}: must be an object")
+        return
+    for name in _PCTL_FIELDS:
+        val = obj.get(name)
+        if not isinstance(val, (int, float)) or isinstance(val, bool):
+            errors.append(f"{where}: missing numeric {name!r}")
+        elif val < 0:
+            errors.append(f"{where}: {name} is negative ({val})")
+
+
+def validate_report(doc: Any) -> List[str]:
+    """Validate a parsed report; returns a list of problems (empty = ok)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"report root is {type(doc).__name__}, expected object"]
+    if doc.get("kind") != REPORT_KIND:
+        errors.append(f"kind is {doc.get('kind')!r}, expected {REPORT_KIND!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("config: missing or not an object")
+    else:
+        _check_fields(config, _CONFIG_FIELDS, "config", errors)
+    if not isinstance(doc.get("environment"), dict):
+        errors.append("environment: missing or not an object")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append("cells: missing, not a list, or empty")
+        return errors
+    seen = set()
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if "error" in cell:
+            _check_fields(cell, _ERROR_CELL_FIELDS, where, errors)
+        else:
+            _check_fields(cell, _CELL_FIELDS, where, errors)
+            sim = cell.get("sim")
+            if isinstance(sim, dict):
+                _check_fields(sim, _SIM_FIELDS, f"{where}.sim", errors)
+                for name in ("latency_ns", "queue_ns", "service_ns"):
+                    _check_percentiles(
+                        sim.get(name), f"{where}.sim.{name}", errors
+                    )
+            wall = cell.get("wall_s")
+            if isinstance(wall, (int, float)) and wall <= 0:
+                errors.append(f"{where}: wall_s must be positive, got {wall}")
+        key = (cell.get("workload"), cell.get("policy"))
+        if key in seen:
+            errors.append(f"{where}: duplicate cell {key}")
+        seen.add(key)
+    return errors
+
+
+def cell_key(cell: Dict[str, Any]) -> str:
+    """Stable identity of one matrix cell."""
+    return f"{cell['workload']}/{cell['policy']}"
+
+
+def deterministic_view(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """The report minus every host-dependent field.
+
+    Two runs with the same config -- on any machine, at any worker
+    count -- must produce identical views; CI serializes both with
+    ``sort_keys`` and compares bytes.
+    """
+    cells = []
+    for cell in doc.get("cells", []):
+        cells.append({
+            k: v for k, v in cell.items()
+            if k not in HOST_DEPENDENT_CELL_FIELDS
+        })
+    return {
+        "kind": doc.get("kind"),
+        "schema_version": doc.get("schema_version"),
+        "config": doc.get("config"),
+        "cells": cells,
+    }
+
+
+def deterministic_bytes(doc: Dict[str, Any]) -> bytes:
+    """Canonical serialization of :func:`deterministic_view`."""
+    return json.dumps(
+        deterministic_view(doc), sort_keys=True, indent=1,
+    ).encode()

@@ -1,0 +1,145 @@
+"""A thread-pool server front-end over the batching scheduler.
+
+Clients (any number of threads) submit operations and receive
+:class:`concurrent.futures.Future` objects; a single scheduler thread
+drains the queue in admission batches and services them through
+:class:`~repro.serve.scheduler.BatchScheduler`. The ORAM still admits
+exactly one oblivious access at a time -- the server's concurrency is
+in *admission and batching*, which is precisely where a single-
+controller oblivious store can win: queued same-key reads collapse
+into one access, superseded writes are acknowledged for free.
+
+The clock is wall nanoseconds (``time.perf_counter_ns``), so
+completions report real queueing and service windows; simulated-ns
+serving lives in :mod:`repro.serve.replay`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional
+
+from repro.app.kvstore import ObliviousKV
+from repro.serve.request import DELETE, GET, PUT, Completion, Request
+from repro.serve.scheduler import BatchScheduler
+
+
+class KVServer:
+    """Concurrent front-end: many submitters, one serving thread."""
+
+    def __init__(
+        self,
+        kv: ObliviousKV,
+        policy: str = "batch",
+        max_batch: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = max_batch
+        self._t0 = time.perf_counter_ns()
+        self.scheduler = BatchScheduler(
+            kv, policy=policy, seed=seed, clock=self._clock,
+        )
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: List[Request] = []
+        self._futures: Dict[int, "Future[Completion]"] = {}
+        self._next_rid = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="kv-server", daemon=True,
+        )
+        self._thread.start()
+
+    def _clock(self) -> float:
+        """Wall clock in ns, zeroed at server start."""
+        return float(time.perf_counter_ns() - self._t0)
+
+    # ------------------------------------------------------------- clients
+
+    def submit(
+        self, op: str, key: bytes, value: Optional[bytes] = None
+    ) -> "Future[Completion]":
+        """Enqueue one operation; resolves to its :class:`Completion`."""
+        future: "Future[Completion]" = Future()
+        with self._work:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            rid = self._next_rid
+            self._next_rid = rid + 1
+            self._queue.append(Request(
+                rid=rid, op=op, key=key, value=value,
+                arrival_ns=self._clock(),
+            ))
+            self._futures[rid] = future
+            self._work.notify()
+        return future
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Blocking convenience get."""
+        return self.submit(GET, key).result().value
+
+    def put(self, key: bytes, value: bytes) -> Completion:
+        """Blocking convenience put."""
+        return self.submit(PUT, key, value).result()
+
+    def delete(self, key: bytes) -> bool:
+        """Blocking convenience delete; True if the key existed."""
+        return self.submit(DELETE, key).result().ok
+
+    # ------------------------------------------------------------- serving
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._queue and not self._closed:
+                    self._work.wait()
+                if not self._queue and self._closed:
+                    return
+                batch = self._queue[:self.max_batch]
+                del self._queue[:self.max_batch]
+            try:
+                completions = self.scheduler.serve_batch(batch)
+            except BaseException as exc:   # noqa: BLE001 - fanned out below
+                with self._work:
+                    for req in batch:
+                        future = self._futures.pop(req.rid, None)
+                        if future is not None:
+                            future.set_exception(exc)
+                continue
+            with self._work:
+                for comp in completions:
+                    future = self._futures.pop(comp.rid, None)
+                    if future is not None:
+                        future.set_result(comp)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the serving thread (after draining the queue by default)."""
+        with self._work:
+            if self._closed:
+                return
+            if not drain:
+                dropped, self._queue = self._queue, []
+                for req in dropped:
+                    future = self._futures.pop(req.rid, None)
+                    if future is not None:
+                        future.set_exception(
+                            RuntimeError("server closed before serving")
+                        )
+            self._closed = True
+            self._work.notify_all()
+        self._thread.join()
+
+    def stats(self) -> Dict[str, Any]:
+        return self.scheduler.stats()
+
+    def __enter__(self) -> "KVServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,118 @@
+"""Assemble the served-KV stack: ORAM + DRAM timing + telemetry.
+
+Mirrors :class:`~repro.sim.engine.Simulation`'s stack construction (the
+metadata-aware tree layout, the event-based DRAM model behind a
+:class:`~repro.sim.engine.DramSink`) but puts an
+:class:`~repro.app.kvstore.ObliviousKV` on top instead of a trace
+replayer, optionally wrapping the sink in PR 5's
+:class:`~repro.telemetry.spans.TracingSink` (per-operation DRAM-ns
+spans) and attaching the section VI-C
+:class:`~repro.core.security.GuessingAttacker` so every serve run can
+report that batching left per-access indistinguishability intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.app.kvstore import ObliviousKV
+from repro.core import schemes as schemes_mod
+from repro.core.ab_oram import build_oram, needs_extensions
+from repro.core.security import GuessingAttacker
+from repro.mem.address_map import AddressMapping
+from repro.mem.dram import DramModel
+from repro.mem.layout import TreeLayout
+from repro.mem.timing import DDR3_1600
+from repro.oram import metadata as md
+from repro.sim.engine import DramSink
+
+
+@dataclass
+class ServedStack:
+    """Everything one serving cell owns."""
+
+    kv: ObliviousKV
+    dram_sink: DramSink
+    telemetry: Optional[Any] = None
+    attacker: Optional[GuessingAttacker] = None
+
+    @property
+    def now_ns(self) -> float:
+        return self.dram_sink.now
+
+
+def build_stack(
+    scheme: str = "ab",
+    levels: int = 10,
+    seed: int = 0,
+    pad_chunks: int = 1,
+    telemetry: Optional[Any] = None,
+    observer: bool = True,
+) -> ServedStack:
+    """Build a timed, observable KV store over a fresh ORAM.
+
+    The payload path is the plaintext ``store_data`` dict: serving
+    benchmarks measure scheduling and simulated memory time, and the
+    sealed data path's crypto cost is host CPU the perf/faults
+    harnesses already cover.
+    """
+    cfg = schemes_mod.by_name(scheme, levels)
+    fields = (
+        md.ab_metadata_fields(cfg) if needs_extensions(cfg)
+        else md.ring_metadata_fields(cfg)
+    )
+    layout = TreeLayout(cfg, metadata_blocks=md.metadata_blocks(cfg, fields))
+    dram_sink = DramSink(layout, DramModel(DDR3_1600, AddressMapping()))
+    sink = dram_sink if telemetry is None else telemetry.tracing_sink(dram_sink)
+    attacker = GuessingAttacker(cfg.levels, seed=seed + 1) if observer else None
+    oram = build_oram(
+        cfg, sink=sink, seed=seed,
+        observers=[attacker] if attacker is not None else [],
+        store_data=True,
+    )
+    oram.warm_fill()
+    kv = ObliviousKV(oram, pad_chunks=pad_chunks)
+    return ServedStack(
+        kv=kv, dram_sink=dram_sink, telemetry=telemetry, attacker=attacker,
+    )
+
+
+def preload_keys(
+    kv: ObliviousKV, items: Sequence[Tuple[bytes, bytes]]
+) -> int:
+    """Bulk-load the initial key set without oblivious accesses.
+
+    Serving benchmarks start from a populated store; issuing one full
+    ORAM access per preloaded chunk would dwarf the measured workload
+    (and for million-key stores, take hours). Returns the block count
+    consumed.
+    """
+    return kv.preload(items)
+
+
+def capacity_keys(kv: ObliviousKV, value_bytes: int) -> int:
+    """How many keys of ~``value_bytes`` values the store can hold."""
+    chunks = max(1, -(-value_bytes // kv.chunk_payload))
+    return kv.free_blocks // chunks
+
+
+def attacker_block(attacker: Optional[GuessingAttacker]) -> Optional[dict]:
+    """The report's ``security`` block (None when no observer ran)."""
+    if attacker is None or attacker.guesses == 0:
+        return None
+    return {
+        "guesses": int(attacker.guesses),
+        "success_rate": attacker.success_rate,
+        "expected_rate": attacker.expected_rate,
+        "advantage": attacker.advantage(),
+    }
+
+
+__all__: List[str] = [
+    "ServedStack",
+    "attacker_block",
+    "build_stack",
+    "capacity_keys",
+    "preload_keys",
+]

@@ -127,7 +127,10 @@ class TelemetryObserver(BaseObserver):
 
 
 def trace_event_doc(
-    spans: Sequence[Span], meta: Optional[Dict[str, Any]] = None
+    spans: Sequence[Span],
+    meta: Optional[Dict[str, Any]] = None,
+    extra_events: Optional[Sequence[Dict[str, Any]]] = None,
+    track_names: Optional[Dict[int, str]] = None,
 ) -> Dict[str, Any]:
     """Build the Chrome trace-event JSON document for ``spans``.
 
@@ -137,6 +140,11 @@ def trace_event_doc(
     microseconds per the trace-event convention (sub-us resolution is
     preserved in the float); the original nanosecond values ride in
     ``args`` for tooling that wants them exact.
+
+    ``track_names`` labels additional tids (pid 0) via ``thread_name``
+    metadata events, and ``extra_events`` appends pre-built events --
+    the serving harness uses both to lay per-request spans on their
+    own tracks alongside the op-span timeline (tid 0).
     """
     events: List[Dict[str, Any]] = [{
         "name": "process_name",
@@ -145,6 +153,14 @@ def trace_event_doc(
         "tid": 0,
         "args": {"name": "repro-sim"},
     }]
+    for tid, track in sorted((track_names or {}).items()):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": track},
+        })
     for name, start_ns, dur_ns in spans:
         events.append({
             "name": name,
@@ -156,6 +172,8 @@ def trace_event_doc(
             "dur": dur_ns / 1000.0,
             "args": {"start_ns": start_ns, "dur_ns": dur_ns},
         })
+    if extra_events:
+        events.extend(extra_events)
     doc: Dict[str, Any] = {
         "displayTimeUnit": "ns",
         "traceEvents": events,
