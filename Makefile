@@ -8,7 +8,7 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: install test bench bench-full figures examples lint perf-smoke \
-	faults-smoke telemetry-smoke serve-smoke ci clean
+	faults-smoke telemetry-smoke serve-smoke chaos-smoke ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -87,9 +87,33 @@ serve-smoke:
 	  benchmarks/baselines/BENCH_serve_smoke.json \
 	  generated/BENCH_serve.json --warn-only
 
+# CI chaos smoke: fault injection under live serving load through the
+# resilient loop. Fails unless availability floors hold and every
+# tampering fault (bit flip, replay) was detected *while serving*.
+# Runs twice -- serial and over two spawn workers -- and requires the
+# deterministic report view byte-identical across the two, then
+# soft-compares availability/p99-under-fault against the committed
+# baseline. The traced cell's timeline (degraded windows, fault
+# markers) is schema-checked like the other Perfetto artifacts.
+chaos-smoke:
+	$(PYTHON) -m repro serve chaos --smoke \
+	  --out generated/BENCH_chaos.json \
+	  --trace-out generated/trace_chaos.json --require-detection
+	$(PYTHON) tools/check_trace.py generated/trace_chaos.json \
+	  --require-kinds readPath queue get degraded_enter faults \
+	  --min-spans 200
+	$(PYTHON) -m repro serve chaos --smoke --workers 2 \
+	  --out generated/BENCH_chaos_w2.json --require-detection
+	$(PYTHON) tools/report_determinism.py \
+	  generated/BENCH_chaos.json generated/BENCH_chaos_w2.json
+	$(PYTHON) -m repro serve compare \
+	  benchmarks/baselines/BENCH_chaos_smoke.json \
+	  generated/BENCH_chaos.json --warn-only
+
 # Mirror of the CI pipeline: lint, tier-1 tests, perf/faults/telemetry/
-# serve smoke.
-ci: lint test perf-smoke faults-smoke telemetry-smoke serve-smoke
+# serve/chaos smoke.
+ci: lint test perf-smoke faults-smoke telemetry-smoke serve-smoke \
+	chaos-smoke
 
 # Removes only regenerated artifacts. Committed reference outputs
 # (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.

@@ -26,7 +26,7 @@ Typical use::
 from __future__ import annotations
 
 import struct
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import schemes as schemes_mod
 from repro.core.ab_oram import build_oram
@@ -142,6 +142,28 @@ class ObliviousKV:
             return None
         self.gets += 1
         return b"".join(self._read_block(block) for block in chain)
+
+    def resident_value(self, key) -> "Tuple[bool, Optional[bytes]]":
+        """Answer a read *without* an oblivious access, if possible.
+
+        Returns ``(resident, value)``. ``resident=True`` means the
+        answer is authoritative without touching the server: the key is
+        absent (the client-side directory knows), or every chunk of its
+        chain is on-chip right now (stash payload cache). ``(False,
+        None)`` means serving this read requires real accesses -- a
+        degraded-mode server must defer or fail it.
+        """
+        chain = self._directory.get(self._normalize(key))
+        if chain is None:
+            return True, None
+        pieces: List[bytes] = []
+        for block in chain:
+            raw = self.oram.peek_payload(block)
+            if raw is None:
+                return False, None
+            (length,) = _HEADER.unpack(bytes(raw[: _HEADER.size]))
+            pieces.append(bytes(raw[_HEADER.size: _HEADER.size + length]))
+        return True, b"".join(pieces)
 
     def chain_of(self, key) -> Optional[List[int]]:
         """Client-side chain lookup (never touches the server).

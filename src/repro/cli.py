@@ -32,12 +32,17 @@ Commands:
   wall-clock and simulated-DRAM-ns latency percentiles;
   ``--require-dedup-win`` fails unless the batch policy beats naive
   FIFO (the CI gate); ``--trace-out`` writes a per-request Perfetto
-  timeline; ``serve compare`` diffs two reports; ``serve demo`` runs
-  the threaded KV server front-end against live client threads.
+  timeline; ``serve chaos [--smoke]`` runs the fault-injection
+  campaign *under live load* (deadlines, load shedding, degraded-mode
+  recovery) and emits generated/BENCH_chaos.json, with
+  ``--require-detection`` as its CI gate; ``serve compare`` diffs two
+  reports of either kind; ``serve demo`` runs the threaded KV server
+  front-end against live client threads.
 
-``sweep``, ``perf run``, ``faults run`` and ``serve bench`` all accept
-``--workers N`` to fan their independent cells over a process pool;
-the deterministic report content never depends on the worker count.
+``sweep``, ``perf run``, ``faults run``, ``serve bench`` and ``serve
+chaos`` all accept ``--workers N`` to fan their independent cells over
+a process pool; the deterministic report content never depends on the
+worker count.
 
 Every command prints the same text tables the benchmarks emit, so the
 CLI doubles as a quick reproduction console.
@@ -517,6 +522,53 @@ def cmd_serve_compare(args: argparse.Namespace) -> int:
     return code
 
 
+def cmd_serve_chaos(args: argparse.Namespace) -> int:
+    from repro.serve.chaos import (
+        chaos_check, full_config, run_chaos, smoke_config,
+    )
+    from repro.serve.report import render_chaos_report
+    from repro.serve.schema import validate_chaos_report
+    import json
+
+    factory = smoke_config if args.smoke else full_config
+    overrides = {}
+    if args.levels is not None:
+        overrides["levels"] = args.levels
+    if args.scheme is not None:
+        overrides["scheme"] = args.scheme
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.max_batch is not None:
+        overrides["max_batch"] = args.max_batch
+    if args.trace_out is not None:
+        overrides["trace_out"] = args.trace_out
+    cfg = factory(progress=stderr_progress, workers=args.workers,
+                  **overrides)
+    doc = run_chaos(cfg)
+    errors = validate_chaos_report(doc)
+    if errors:
+        for e in errors:
+            print(f"error: report self-check failed: {e}", file=sys.stderr)
+        return 2
+    _ensure_out_dir(args.out)
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(render_chaos_report(doc))
+    print(f"\nwrote {args.out}")
+    if args.trace_out:
+        print(f"wrote {args.trace_out}")
+    if args.require_detection:
+        problems = chaos_check(doc)
+        if problems:
+            for line in problems:
+                print(f"CHAOS GAP {line}")
+            return 1
+        print("chaos check: availability floors held, all tampering "
+              "faults detected under live load")
+    return 0
+
+
 def cmd_serve_demo(args: argparse.Namespace) -> int:
     """Exercise the threaded front-end with live client threads."""
     import threading
@@ -803,12 +855,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "that expect it -- the CI gate")
     sb.set_defaults(func=cmd_serve_bench)
 
-    sc = serve_sub.add_parser("compare", help="diff two serve reports")
-    sc.add_argument("baseline", help="baseline BENCH_serve.json")
-    sc.add_argument("new", help="candidate BENCH_serve.json")
+    sx = serve_sub.add_parser("chaos", help="fault-injection campaign "
+                                            "under live serving load")
+    sx.add_argument("--smoke", action="store_true",
+                    help="seconds-scale campaign for CI")
+    sx.add_argument("--out", default="generated/BENCH_chaos.json",
+                    help="report path (default: generated/BENCH_chaos.json; "
+                         "the directory is created if missing)")
+    sx.add_argument("--workers", type=int, default=1,
+                    help="process-pool width for the campaign cells; the "
+                         "sim blocks are byte-identical to --workers 1, "
+                         "only wall_* fields are host-dependent")
+    sx.add_argument("--scheme", default=None, choices=ALL_SCHEMES)
+    sx.add_argument("--levels", type=int, default=None)
+    sx.add_argument("--seed", type=int, default=None)
+    sx.add_argument("--max-batch", type=int, default=None,
+                    help="admission batch cap per scheduling round")
+    sx.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a Perfetto trace of the degraded-mode "
+                         "cell: request lanes plus a resilience track "
+                         "with degraded windows and fault markers")
+    sx.add_argument("--require-detection", action="store_true",
+                    help="exit 1 unless every cell held its availability "
+                         "floor and every injected tampering fault was "
+                         "detected while serving -- the CI gate")
+    sx.set_defaults(func=cmd_serve_chaos)
+
+    sc = serve_sub.add_parser("compare", help="diff two serve or chaos "
+                                              "reports (kind-dispatched)")
+    sc.add_argument("baseline", help="baseline BENCH_serve.json or "
+                                     "BENCH_chaos.json")
+    sc.add_argument("new", help="candidate report of the same kind")
     sc.add_argument("--threshold", type=float, default=10.0,
                     help="max tolerated simulated-throughput drop or p99 "
-                         "rise, percent")
+                         "rise, percent (chaos reports additionally gate "
+                         "availability and tamper detection)")
     sc.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0 (CI soft gate)")
     sc.set_defaults(func=cmd_serve_compare)

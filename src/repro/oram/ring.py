@@ -114,6 +114,14 @@ class RingOram:
         )
         self._quarantined: Dict[int, None] = {}   # insertion-ordered set
         self._rebuilding: Optional[int] = None
+        # Serving-layer hook: with deferral on, quarantined buckets are
+        # NOT rebuilt in the next access's maintenance window -- they
+        # accumulate until the driver calls ``flush_recovery()``. This
+        # is what lets a serving layer run a *degraded mode* (answer
+        # from the stash, journal writes) while scheduling the rebuild
+        # on its own clock. Default off: recovery behaviour (and every
+        # committed fault-campaign number) is unchanged.
+        self.defer_rebuilds = False
         self.evict_counter = 0
         self._z_real_by_level = [g.z_real for g in cfg.geometry]
         # leaf -> (bucket list, bucket index array, metadata sink items):
@@ -189,6 +197,32 @@ class RingOram:
 
     def write(self, block: int, value: Any) -> None:
         self.access(block, write=True, value=value)
+
+    @property
+    def quarantine_pending(self) -> int:
+        """Quarantined buckets awaiting rebuild (nonzero only while
+        ``defer_rebuilds`` holds them back for the serving layer)."""
+        return len(self._quarantined)
+
+    def peek_payload(self, block: int) -> Optional[Any]:
+        """A block's payload iff it is readable *without* an access.
+
+        On the sealed data path that means the block's bytes are
+        on-chip right now (captured into the stash payload cache and
+        not yet written back); on the plaintext ``store_data`` path
+        every stored payload qualifies. Returns ``None`` when serving
+        the block would require an oblivious access -- the exact
+        boundary of what a degraded-mode read may answer.
+        """
+        if not 0 <= block < self.cfg.n_real_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self.cfg.n_real_blocks})"
+            )
+        if self.datastore is not None:
+            return self._stash_payload.get(block)
+        if self._data is not None:
+            return self._data.get(block)
+        return None
 
     def preload_value(self, block: int, value: Any) -> None:
         """Seed a block's payload without an oblivious access.
@@ -582,7 +616,7 @@ class RingOram:
         for b in pending:
             if self.store.needs_reshuffle(b):
                 self._early_reshuffle(b)
-        if self._quarantined:
+        if self._quarantined and not self.defer_rebuilds:
             self._rebuild_quarantined()
 
     def flush_recovery(self) -> None:

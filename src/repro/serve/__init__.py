@@ -22,28 +22,44 @@ The serving layer turns the single-caller
   :mod:`~repro.serve.compare` / :mod:`~repro.serve.report` -- the
   ``BENCH_serve.json`` harness (the tail-latency yardstick CI gates);
 - :mod:`repro.serve.tracing` -- per-request Perfetto traces splitting
-  queueing vs. ORAM vs. DRAM time.
+  queueing vs. ORAM vs. DRAM time;
+- :mod:`repro.serve.resilience` -- the chaos-hardened serving loop:
+  per-request deadlines, bounded admission with load shedding, and
+  degraded-mode serving (stash-resident reads + a write journal) while
+  quarantined buckets rebuild;
+- :mod:`repro.serve.chaos` -- the ``BENCH_chaos.json`` campaign: fault
+  injection under live load, gated on availability and detection.
 """
 
+from repro.serve.chaos import ChaosCell, ChaosConfig, run_chaos
 from repro.serve.loadgen import WorkloadConfig, generate_requests, key_name, value_for
 from repro.serve.request import DELETE, GET, PUT, Completion, Request
+from repro.serve.resilience import (
+    ChaosReplayResult, ResilienceConfig, resilient_replay,
+)
 from repro.serve.scheduler import BatchScheduler
 from repro.serve.server import KVServer
 from repro.serve.stack import ServedStack, build_stack, preload_keys
 
 __all__ = [
     "BatchScheduler",
+    "ChaosCell",
+    "ChaosConfig",
+    "ChaosReplayResult",
     "Completion",
     "DELETE",
     "GET",
     "KVServer",
     "PUT",
     "Request",
+    "ResilienceConfig",
     "ServedStack",
     "WorkloadConfig",
     "build_stack",
     "generate_requests",
     "key_name",
     "preload_keys",
+    "resilient_replay",
+    "run_chaos",
     "value_for",
 ]

@@ -1,0 +1,436 @@
+"""The chaos campaign: fault injection under live serving load.
+
+Every cell of ``BENCH_chaos.json`` serves one workload end-to-end on a
+*sealed* stack (ChaCha20 + MAC + Merkle) with a
+:class:`~repro.faults.memory.FaultyMemory` armed underneath it, through
+the resilient serving loop of :mod:`repro.serve.resilience`. Where the
+fault campaign of :mod:`repro.faults.campaign` asks "does the memory
+detect and recover?", the chaos campaign asks the serving question:
+**what did clients experience while it did?** -- availability, tail
+latency under fault, shed/timeout counts, time-to-recover.
+
+The cells escalate:
+
+- ``baseline``  -- no faults; the resilient loop must serve exactly
+  like the plain one (availability 1.0, nothing shed).
+- ``transient`` -- short outages the ORAM-level retry ladder absorbs
+  inline; clients see latency, never errors (availability >= 99%).
+- ``tamper``    -- bit flips + replays; detection quarantines buckets,
+  serving drops to degraded mode (stash-resident reads + write
+  journal) and recovers. Detection must be 100%.
+- ``outage``    -- long outages past the retry budget plus dropped
+  writes, against a small admission queue: the overload story, load
+  shedding by policy instead of unbounded queues.
+
+Like ``BENCH_serve.json``, the ``sim`` block of every cell is a pure
+function of the config: seeded workload, seeded ORAM, seed-pinned
+stateless fault plan, event-based DRAM clock. CI asserts the
+deterministic view is byte-identical across runs and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import FAULT_KINDS, FaultPlan
+from repro.oram.recovery import RobustnessConfig
+from repro.parallel.executor import Cell, report_progress, run_cells
+from repro.serve.bench import _environment, _percentiles
+from repro.serve.loadgen import (
+    WorkloadConfig, generate_requests, initial_items,
+)
+from repro.serve.request import OK, STATUSES
+from repro.serve.resilience import ResilienceConfig, resilient_replay
+from repro.serve.scheduler import BatchScheduler
+from repro.serve.schema import CHAOS_REPORT_KIND, SCHEMA_VERSION
+from repro.serve.stack import attacker_block, build_stack
+from repro.serve.tracing import request_trace_doc, write_trace
+
+#: Fault kinds whose detection is synchronous at the injection site --
+#: the 100%-detection CI gate quantifies over these. ``dropped_write``
+#: detection is lazy (a later read of the bucket) and ``unavailable``
+#: is overt (the error *is* the fault), so neither belongs in the gate.
+TAMPER_KINDS = ("bit_flip", "replay")
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """One campaign cell: a workload, a fault plan, a survival policy.
+
+    The ``min_availability`` / ``expect_*`` fields are the cell's CI
+    gate, carried inside the report config so :func:`chaos_check` needs
+    nothing but the document.
+    """
+
+    name: str
+    workload: WorkloadConfig
+    faults: Optional[FaultPlan]
+    resilience: ResilienceConfig
+    min_availability: float = 0.0
+    expect_faults: bool = False
+    expect_episodes: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "workload": self.workload.to_dict(),
+            "faults": None if self.faults is None else self.faults.to_dict(),
+            "resilience": self.resilience.to_dict(),
+            "min_availability": self.min_availability,
+            "expect_faults": self.expect_faults,
+            "expect_episodes": self.expect_episodes,
+        }
+
+
+@dataclass
+class ChaosConfig:
+    """One chaos-harness invocation (the report's ``config`` block)."""
+
+    scheme: str = "ab"
+    levels: int = 8
+    seed: int = 0
+    max_batch: int = 16
+    #: ORAM-level recovery policy every cell's stack runs under. The
+    #: retry budget comfortably exceeds the transient cell's longest
+    #: outage so short blips recover inline, never via quarantine.
+    robustness: RobustnessConfig = field(
+        default_factory=lambda: RobustnessConfig(
+            integrity=True, retry_budget=6,
+        )
+    )
+    cells: Sequence[ChaosCell] = ()
+    smoke: bool = False
+    workers: int = 1
+    progress: Any = None   # callable(str) for live cell updates
+    trace_out: Optional[str] = None
+    trace_cell: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "levels": self.levels,
+            "seed": self.seed,
+            "max_batch": self.max_batch,
+            "robustness": self.robustness.to_dict(),
+            "cells": [c.to_dict() for c in self.cells],
+            "smoke": self.smoke,
+        }
+
+
+# ------------------------------------------------------------------- cells
+
+def _mix(name: str, n_requests: int, stored_keys: int, **kw: Any) -> WorkloadConfig:
+    base: Dict[str, Any] = dict(
+        name=name,
+        n_requests=n_requests,
+        n_keys=4_000,
+        stored_keys=stored_keys,
+        arrival="poisson",
+        rate_rps=1_000_000.0,
+        zipf_s=0.9,
+        read_fraction=0.8,
+        delete_fraction=0.02,
+        value_bytes=40,
+        expect_dedup=False,
+    )
+    base.update(kw)
+    return WorkloadConfig(**base)
+
+
+def _smoke_cells() -> Tuple[ChaosCell, ...]:
+    wl = _mix("chaos-mix", 240, 64)
+    return (
+        ChaosCell(
+            name="baseline",
+            workload=wl,
+            faults=None,
+            resilience=ResilienceConfig(),
+            min_availability=1.0,
+        ),
+        ChaosCell(
+            name="transient",
+            workload=wl,
+            faults=FaultPlan(
+                seed=101, rates={"unavailable": 0.02}, max_outage_ops=2,
+            ),
+            resilience=ResilienceConfig(
+                deadline_ns=5_000_000.0, queue_limit=64,
+            ),
+            min_availability=0.99,
+            expect_faults=True,
+        ),
+        ChaosCell(
+            name="tamper",
+            workload=wl,
+            faults=FaultPlan(
+                seed=202, rates={"bit_flip": 0.006, "replay": 0.005},
+            ),
+            resilience=ResilienceConfig(
+                deadline_ns=4_000_000.0, queue_limit=128,
+                retry_budget=8, backoff_base_ns=5_000.0,
+                backoff_factor=1.6,
+                journal_limit=96, repair_ns=30_000.0,
+            ),
+            min_availability=0.90,
+            expect_faults=True,
+            expect_episodes=True,
+        ),
+        ChaosCell(
+            name="outage",
+            workload=_mix(
+                "chaos-burst", 240, 64,
+                arrival="bursty", rate_rps=900_000.0, burst_factor=5.0,
+            ),
+            faults=FaultPlan(
+                seed=303,
+                rates={"unavailable": 0.015, "dropped_write": 0.01},
+                max_outage_ops=10,
+            ),
+            resilience=ResilienceConfig(
+                deadline_ns=600_000.0, queue_limit=12,
+                shed_policy="drop-oldest",
+                retry_budget=4, backoff_base_ns=8_000.0,
+                journal_limit=32, repair_ns=25_000.0,
+            ),
+            min_availability=0.60,
+            expect_faults=True,
+        ),
+    )
+
+
+def _full_cells() -> Tuple[ChaosCell, ...]:
+    scaled = []
+    for cell in _smoke_cells():
+        wl = replace(cell.workload, n_requests=1200, stored_keys=160)
+        scaled.append(replace(cell, workload=wl))
+    return tuple(scaled)
+
+
+def smoke_config(**overrides: Any) -> ChaosConfig:
+    """Seconds-scale campaign for CI."""
+    base = ChaosConfig(cells=_smoke_cells(), smoke=True)
+    return replace(base, **overrides)
+
+
+def full_config(**overrides: Any) -> ChaosConfig:
+    """The nightly soak: same cells, 5x the load, a deeper tree."""
+    base = ChaosConfig(levels=10, cells=_full_cells(), smoke=False)
+    return replace(base, **overrides)
+
+
+# ------------------------------------------------------------------ runner
+
+def _episode_block(episodes: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    spans = [e["exit_ns"] - e["enter_ns"] for e in episodes]
+    return {
+        "count": len(episodes),
+        "recover_ns_mean": sum(spans) / len(spans) if spans else 0.0,
+        "recover_ns_max": max(spans) if spans else 0.0,
+        "rebuilt": sum(e["rebuilt"] for e in episodes),
+        "journal_replayed": sum(e["journal_replayed"] for e in episodes),
+    }
+
+
+def _detection_block(summary: Dict[str, Any]) -> Dict[str, Any]:
+    injected = sum(summary["injected"][k] for k in TAMPER_KINDS)
+    detected = sum(summary["detected"][k] for k in TAMPER_KINDS)
+    return {
+        "tamper_injected": injected,
+        "tamper_detected": detected,
+        "rate": detected / injected if injected else 1.0,
+    }
+
+
+def _chaos_cell_task(payload: Tuple[ChaosConfig, ChaosCell]) -> Dict[str, Any]:
+    """One campaign cell, runnable in-process or in a spawn worker."""
+    cfg, cell = payload
+    report_progress(f"chaos {cell.name} ...")
+    want_trace = cfg.trace_out is not None and cfg.trace_cell == cell.name
+    telemetry = None
+    if want_trace:
+        from repro.telemetry import Telemetry
+        telemetry = Telemetry(meta={
+            "cell": cell.name, "scheme": cfg.scheme,
+            "levels": cfg.levels, "seed": cfg.seed,
+        })
+    stack = build_stack(
+        scheme=cfg.scheme, levels=cfg.levels, seed=cfg.seed,
+        telemetry=telemetry, observer=True,
+        robustness=cfg.robustness, fault_plan=cell.faults,
+    )
+    kv = stack.kv
+    # Sealed stacks cannot bulk-preload: populate through real puts
+    # while the fault wrapper is still disarmed, then arm it -- faults
+    # fire only on the measured, live-serving portion of the run.
+    for key, value in initial_items(cell.workload):
+        kv.put(key, value)
+    stack.arm_faults()
+    # The population advanced the simulated clock; shift arrivals so
+    # the open-loop workload starts "now" instead of in the past.
+    t0 = stack.dram_sink.now
+    requests = [
+        replace(r, arrival_ns=r.arrival_ns + t0)
+        for r in generate_requests(cell.workload)
+    ]
+    scheduler = BatchScheduler(
+        kv, policy="batch", seed=cfg.seed,
+        clock=lambda: stack.dram_sink.now,
+    )
+    result = resilient_replay(
+        stack, requests, scheduler, cell.resilience, max_batch=cfg.max_batch,
+    )
+    comps = result.completions
+    served = [c for c in comps if c.status == OK]
+    status = result.status_counts()
+    stats = scheduler.stats()
+    sim_s = result.sim_ns / 1e9
+    sim: Dict[str, Any] = {
+        "requests": len(requests),
+        "completions": len(comps),
+        "status": {s: status.get(s, 0) for s in STATUSES},
+        "availability": (
+            status.get(OK, 0) / len(comps) if comps else 0.0
+        ),
+        "accesses_issued": stats["accesses_issued"],
+        "dedup_hits": stats["dedup_hits"],
+        "coalesced_puts": stats["coalesced_puts"],
+        "absent_gets": stats["absent_gets"],
+        "scheduler_timeouts": stats["timeouts"],
+        "degraded_reads": result.degraded_reads,
+        "journal": {
+            "appends": result.journal_appends,
+            "replayed": result.journal_replayed,
+            "sheds": result.journal_sheds,
+        },
+        "retries": result.retries,
+        "episodes": _episode_block(result.episodes),
+        "sim_ns": result.sim_ns,
+        "requests_per_s_sim": len(comps) / sim_s if sim_s > 0 else 0.0,
+        "latency_ns": _percentiles([c.latency_ns for c in served]),
+        "robust": {
+            "counters": kv.oram.robust.to_dict(),
+            "backoff_stalled_ns": stack.dram_sink.dram.stats.stalled_ns,
+        },
+    }
+    if stack.faulty is not None:
+        summary = stack.faulty.summary()
+        sim["faults"] = summary
+        sim["detection"] = _detection_block(summary)
+    security = attacker_block(stack.attacker)
+    if security is not None:
+        sim["security"] = security
+    if want_trace:
+        doc = request_trace_doc(
+            comps, telemetry.spans, meta=telemetry.meta,
+            resilience_events=result.events,
+        )
+        write_trace(doc, cfg.trace_out)
+    return {
+        "name": cell.name,
+        "wall_s": result.wall_s,
+        "requests_per_s_wall": (
+            len(comps) / result.wall_s if result.wall_s > 0 else 0.0
+        ),
+        "sim": sim,
+    }
+
+
+def run_chaos(cfg: Optional[ChaosConfig] = None) -> Dict[str, Any]:
+    """Run the chaos campaign and return the report document.
+
+    ``cfg.workers > 1`` fans the independent cells over a spawn pool;
+    the ``sim`` blocks are byte-identical to a serial run. A cell whose
+    worker raises becomes an ``{"name", "error"}`` entry.
+    """
+    cfg = cfg or smoke_config()
+    if not cfg.cells:
+        raise ValueError("config has no cells")
+    if cfg.trace_out is not None and cfg.trace_cell is None:
+        # Default to the cell expected to enter degraded mode -- the
+        # timeline with something to show.
+        interesting = next(
+            (c for c in cfg.cells if c.expect_episodes), cfg.cells[0]
+        )
+        cfg = replace(cfg, trace_cell=interesting.name)
+    worker_cfg = replace(cfg, progress=None, workers=1)
+    outputs = run_cells(
+        _chaos_cell_task,
+        [Cell(c.name, (worker_cfg, c)) for c in cfg.cells],
+        workers=cfg.workers,
+        progress=cfg.progress,
+    )
+    cells: List[Dict[str, Any]] = []
+    for cell, res in zip(cfg.cells, outputs):
+        if res.ok:
+            cells.append(res.value)
+        else:
+            cells.append({"name": cell.name, "error": res.error})
+    return {
+        "kind": CHAOS_REPORT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "config": cfg.to_dict(),
+        "environment": _environment(),
+        "cells": cells,
+    }
+
+
+# -------------------------------------------------------------------- gate
+
+def chaos_check(doc: Dict[str, Any]) -> List[str]:
+    """CI gate over one chaos report; returns findings (empty = pass).
+
+    Per cell, from the gate fields its config carries: every injected
+    tamper fault (bit flip / replay) must have been detected *while
+    serving live load*; availability must not fall below the cell's
+    floor; cells expected to inject faults (or enter degraded mode)
+    must actually have done so -- a campaign that injected nothing
+    proves nothing.
+    """
+    problems: List[str] = []
+    gates = {c["name"]: c for c in doc.get("config", {}).get("cells", [])}
+    for cell in doc.get("cells", []):
+        name = cell.get("name", "?")
+        if "error" in cell:
+            problems.append(f"{name}: cell errored, chaos gate unverified")
+            continue
+        gate = gates.get(name, {})
+        sim = cell.get("sim", {})
+        avail = sim.get("availability", 0.0)
+        floor = gate.get("min_availability", 0.0)
+        if avail < floor:
+            problems.append(
+                f"{name}: availability {avail:.4f} below floor {floor:.4f}"
+            )
+        det = sim.get("detection")
+        if det is not None and det["tamper_detected"] < det["tamper_injected"]:
+            problems.append(
+                f"{name}: tamper detection gap "
+                f"({det['tamper_detected']}/{det['tamper_injected']} detected)"
+            )
+        if gate.get("expect_faults"):
+            injected = sum(
+                sim.get("faults", {}).get("injected", {}).get(k, 0)
+                for k in FAULT_KINDS
+            )
+            if injected == 0:
+                problems.append(
+                    f"{name}: expected fault injection, none fired"
+                )
+        if gate.get("expect_episodes"):
+            if sim.get("episodes", {}).get("count", 0) < 1:
+                problems.append(
+                    f"{name}: expected degraded-mode episodes, none occurred"
+                )
+    return problems
+
+
+__all__ = [
+    "ChaosCell",
+    "ChaosConfig",
+    "TAMPER_KINDS",
+    "chaos_check",
+    "full_config",
+    "run_chaos",
+    "smoke_config",
+]

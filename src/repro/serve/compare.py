@@ -24,7 +24,10 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Tuple
 
-from repro.serve.schema import cell_key, validate_report
+from repro.serve.schema import (
+    CHAOS_REPORT_KIND, cell_key, chaos_cell_key,
+    validate_chaos_report, validate_report,
+)
 
 EXIT_OK = 0
 EXIT_REGRESSION = 1
@@ -39,15 +42,33 @@ _DRIFT_FIELDS = (
 )
 
 
+#: Availability may drop at most this many percentage points before
+#: the chaos compare gates (absolute, since availability lives on
+#: [0, 1] where relative thresholds are meaningless near 1.0).
+DEFAULT_AVAILABILITY_DROP_PP = 1.0
+
+#: Chaos deterministic scalars diffed for the drift note (never gating).
+_CHAOS_DRIFT_FIELDS = (
+    "accesses_issued", "degraded_reads", "retries", "scheduler_timeouts",
+)
+
+
 def load_report(path: str) -> Tuple[Any, List[str]]:
-    """Parse and validate one report file; returns (doc, errors)."""
+    """Parse and validate one report file; returns (doc, errors).
+
+    Validates against the schema the document's ``kind`` claims, so
+    one loader serves both serve and chaos reports.
+    """
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, ValueError) as exc:
         return None, [f"{path}: cannot load report: {exc}"]
-    errors = [f"{path}: {e}" for e in validate_report(doc)]
-    return doc, errors
+    if isinstance(doc, dict) and doc.get("kind") == CHAOS_REPORT_KIND:
+        problems = validate_chaos_report(doc)
+    else:
+        problems = validate_report(doc)
+    return doc, [f"{path}: {e}" for e in problems]
 
 
 def compare_reports(
@@ -132,15 +153,120 @@ def _sim_drift(base_sim: Dict[str, Any], new_sim: Dict[str, Any]) -> List[str]:
     ]
 
 
+def compare_chaos_reports(
+    baseline: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    availability_drop_pp: float = DEFAULT_AVAILABILITY_DROP_PP,
+) -> Tuple[int, List[str]]:
+    """The chaos regression gate: clients must not fare worse.
+
+    Matched by cell name; gates on the deterministic client-facing
+    metrics -- availability dropping more than ``availability_drop_pp``
+    percentage points, served p99 latency rising more than
+    ``threshold_pct`` percent, or tamper detection falling below a
+    baseline that had it perfect.
+    """
+    messages: List[str] = []
+    base_cells = {chaos_cell_key(c): c for c in baseline["cells"]}
+    new_cells = {chaos_cell_key(c): c for c in new["cells"]}
+    exit_code = EXIT_OK
+
+    def regress(msg: str) -> None:
+        nonlocal exit_code
+        messages.append(msg)
+        if exit_code == EXIT_OK:
+            exit_code = EXIT_REGRESSION
+
+    for key, base in base_cells.items():
+        if key not in new_cells:
+            messages.append(f"ERROR {key}: cell missing from new report")
+            exit_code = EXIT_ERROR
+            continue
+        cur = new_cells[key]
+        if "error" in base:
+            messages.append(f"ERROR {key}: baseline cell is an error entry")
+            exit_code = EXIT_ERROR
+            continue
+        if "error" in cur:
+            first = str(cur["error"]).strip().splitlines()
+            messages.append(
+                f"ERROR {key}: cell errored in new report: "
+                f"{first[0] if first else 'cell failed'}"
+            )
+            exit_code = EXIT_ERROR
+            continue
+        base_sim, cur_sim = base["sim"], cur["sim"]
+        old_av = float(base_sim["availability"])
+        new_av = float(cur_sim["availability"])
+        old_p99 = float(base_sim["latency_ns"]["p99"])
+        new_p99 = float(cur_sim["latency_ns"]["p99"])
+        av_pp = (new_av - old_av) * 100.0
+        drifted = [
+            k for k in _CHAOS_DRIFT_FIELDS
+            if base_sim.get(k) != cur_sim.get(k)
+        ]
+        note = f" (drift: {', '.join(drifted)})" if drifted else ""
+        line = (
+            f"{key}: availability {old_av:.4f} -> {new_av:.4f} "
+            f"({av_pp:+.2f}pp), served p99 {old_p99:.0f} -> "
+            f"{new_p99:.0f} ns{note}"
+        )
+        if av_pp < -availability_drop_pp:
+            regress(
+                f"REGRESSION {line} -- availability drop exceeds "
+                f"-{availability_drop_pp:g}pp"
+            )
+            continue
+        if old_p99 > 0:
+            p99_pct = (new_p99 - old_p99) / old_p99 * 100.0
+            if p99_pct > threshold_pct:
+                regress(
+                    f"REGRESSION {line} -- p99-under-fault rise exceeds "
+                    f"+{threshold_pct:g}%"
+                )
+                continue
+        old_det = base_sim.get("detection")
+        new_det = cur_sim.get("detection")
+        if (
+            old_det is not None and new_det is not None
+            and float(old_det["rate"]) >= 1.0
+            and float(new_det["rate"]) < 1.0
+        ):
+            regress(
+                f"REGRESSION {key}: tamper detection fell from 100% to "
+                f"{float(new_det['rate']) * 100.0:.1f}%"
+            )
+            continue
+        messages.append(f"OK {line}")
+    for key in new_cells:
+        if key not in base_cells:
+            messages.append(f"NEW {key}: no baseline entry (campaign grew)")
+    return exit_code, messages
+
+
 def compare_files(
     baseline_path: str,
     new_path: str,
     threshold_pct: float = DEFAULT_THRESHOLD_PCT,
 ) -> Tuple[int, List[str]]:
-    """File-level entry: load, validate, compare."""
+    """File-level entry: load, validate, compare.
+
+    Dispatches on the reports' ``kind``: serve reports take the
+    throughput/latency gate, chaos reports the availability/detection
+    gate. Mixing kinds is an error.
+    """
     base, base_errs = load_report(baseline_path)
     new, new_errs = load_report(new_path)
     errors = base_errs + new_errs
     if errors:
         return EXIT_ERROR, [f"ERROR {e}" for e in errors]
+    base_kind = base.get("kind")
+    if base_kind != new.get("kind"):
+        return EXIT_ERROR, [
+            f"ERROR cannot compare {base_kind!r} against "
+            f"{new.get('kind')!r} reports"
+        ]
+    if base_kind == CHAOS_REPORT_KIND:
+        return compare_chaos_reports(base, new, threshold_pct)
     return compare_reports(base, new, threshold_pct)

@@ -5,7 +5,53 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.analysis.report import render_mapping_table
-from repro.serve.schema import cell_key
+from repro.serve.schema import cell_key, chaos_cell_key
+
+
+def render_chaos_report(doc: Dict[str, Any]) -> str:
+    """Text table of one chaos campaign's cells."""
+    cfg = doc["config"]
+    rows = []
+    errored = []
+    for cell in doc["cells"]:
+        if "error" in cell:
+            errored.append(cell)
+            continue
+        sim = cell["sim"]
+        status = sim["status"]
+        det = sim.get("detection")
+        episodes = sim["episodes"]
+        rows.append({
+            "cell": chaos_cell_key(cell),
+            "avail": sim["availability"],
+            "p99_us": sim["latency_ns"]["p99"] / 1000.0,
+            "shed": status["shed"],
+            "timeout": status["timed_out"] + sim["scheduler_timeouts"],
+            "failed": status["failed"],
+            "degr_reads": sim["degraded_reads"],
+            "episodes": episodes["count"],
+            "recover_us": episodes["recover_ns_max"] / 1000.0,
+            "detect": "-" if det is None else (
+                f"{det['tamper_detected']}/{det['tamper_injected']}"
+            ),
+        })
+    flavor = "smoke" if cfg.get("smoke") else "full"
+    title = (
+        f"chaos campaign ({flavor}): {cfg['scheme']} L={cfg['levels']} "
+        f"max_batch={cfg['max_batch']} seed={cfg['seed']}"
+    )
+    lines = []
+    if rows:
+        lines.append(render_mapping_table(rows, title=title))
+    else:
+        lines.append(f"{title}\n(no completed cells)")
+    for cell in errored:
+        first = str(cell["error"]).strip().splitlines()
+        lines.append(
+            f"ERROR {chaos_cell_key(cell)}: "
+            f"{first[0] if first else 'cell failed'}"
+        )
+    return "\n".join(lines)
 
 
 def render_report(doc: Dict[str, Any]) -> str:

@@ -21,6 +21,21 @@ DELETE = "delete"
 
 OPS = (GET, PUT, DELETE)
 
+#: Completion statuses. ``OK`` is a served answer (including degraded
+#: serves); the rest are the resilience layer's explicit failure modes:
+#: ``TIMED_OUT`` -- the per-request deadline passed before an answer;
+#: ``SHED``      -- admission control rejected the request (bounded
+#:                  queue or full degraded-mode write journal);
+#: ``FAILED``    -- the request-scope retry budget ran out while the
+#:                  store could not serve it (degraded-mode read of a
+#:                  non-resident key).
+OK = "ok"
+TIMED_OUT = "timed_out"
+SHED = "shed"
+FAILED = "failed"
+
+STATUSES = (OK, TIMED_OUT, SHED, FAILED)
+
 
 @dataclass
 class Request:
@@ -31,6 +46,10 @@ class Request:
     key: bytes
     value: Optional[bytes] = None
     arrival_ns: float = 0.0
+    #: Absolute deadline on the service clock (``None`` = no deadline).
+    #: Set by the resilience layer; the scheduler refuses to *start*
+    #: serving a request whose deadline already passed.
+    deadline_ns: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -61,6 +80,13 @@ class Completion:
     accesses: int = 0
     dedup: bool = False
     coalesced: bool = False
+    #: One of :data:`STATUSES`. ``ok`` covers every served answer (the
+    #: boolean ``ok`` field still distinguishes hit/miss); the other
+    #: values are terminal failures stamped by the resilience layer.
+    status: str = OK
+    #: Served without an oblivious access while the store ran degraded
+    #: (stash-resident payloads or the write journal answered it).
+    degraded: bool = False
     #: Host wall time spent in the executing operation (seconds);
     #: shared by every waiter of a deduped access. Host-dependent --
     #: never part of the deterministic report fields.

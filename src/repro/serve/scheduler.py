@@ -37,7 +37,9 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.app.kvstore import ObliviousKV
-from repro.serve.request import DELETE, GET, PUT, Completion, Request
+from repro.serve.request import (
+    DELETE, GET, PUT, TIMED_OUT, Completion, Request,
+)
 
 POLICIES = ("fifo", "batch")
 
@@ -73,6 +75,7 @@ class BatchScheduler:
         self.dedup_hits = 0
         self.coalesced_puts = 0
         self.absent_gets = 0
+        self.timeouts = 0
         self.ops_served: Dict[str, int] = {GET: 0, PUT: 0, DELETE: 0}
         self.batch_size_hist: Dict[int, int] = {}
         self._accesses0 = kv.oram.online_accesses
@@ -92,6 +95,7 @@ class BatchScheduler:
             "dedup_hits": self.dedup_hits,
             "coalesced_puts": self.coalesced_puts,
             "absent_gets": self.absent_gets,
+            "timeouts": self.timeouts,
             "ops": dict(self.ops_served),
             "batch_size_hist": [
                 [size, count]
@@ -138,10 +142,35 @@ class BatchScheduler:
             self._serve_group(reqs, out)
         return out
 
+    # ------------------------------------------------------- deadlines
+
+    def _expired(self, req: Request) -> bool:
+        """True when ``req``'s deadline passed before service started.
+
+        Checked immediately before the scheduler would begin the
+        request's work: a request that expires mid-operation still
+        completes (the access is already in flight and paid for), but
+        one whose deadline passed while it queued is refused -- the
+        open-loop client it models has already given up.
+        """
+        return req.deadline_ns is not None and self.clock() >= req.deadline_ns
+
+    def _timeout(self, req: Request, out: List[Completion]) -> None:
+        self.timeouts += 1
+        now = self.clock()
+        out.append(Completion(
+            rid=req.rid, op=req.op, key=req.key, value=None, ok=False,
+            arrival_ns=req.arrival_ns, start_ns=now, done_ns=now,
+            accesses=0, status=TIMED_OUT,
+        ))
+
     # ------------------------------------------------------- naive execute
 
     def _execute(self, req: Request, out: List[Completion]) -> None:
         """Serve one request with its own oblivious accesses (FIFO path)."""
+        if self._expired(req):
+            self._timeout(req, out)
+            return
         kv = self.kv
         t0 = self.clock()
         a0 = kv.oram.online_accesses
@@ -191,6 +220,28 @@ class BatchScheduler:
         cached_window = (0.0, 0.0, 0.0)   # (start_ns, done_ns, wall_s)
         deferred: List[Completion] = []
         for i, req in enumerate(reqs):
+            if (
+                not (req.op == PUT and superseded[i])
+                and self._expired(req)
+            ):
+                # Deadline passed while queued. A superseded put is
+                # exempt: it does no work of its own and inherits the
+                # surviving write's outcome. If the *surviving* write
+                # expires, the puts it subsumed never became durable
+                # either -- fail their already-emitted completions and
+                # forget the batch-local value: the store still holds
+                # the pre-group state, so later gets must really fetch.
+                self._timeout(req, out)
+                if req.op != GET:
+                    now = self.clock()
+                    for d in deferred:
+                        d.ok = False
+                        d.status = TIMED_OUT
+                        d.start_ns = d.done_ns = now
+                        self.timeouts += 1
+                    deferred.clear()
+                    cached = _UNSET
+                continue
             if req.op == GET:
                 if cached is not _UNSET and cached is not None:
                     # Same-key waiter: the chain is already on-chip (its

@@ -51,6 +51,7 @@ from typing import Any, Dict, List
 
 SCHEMA_VERSION = 1
 REPORT_KIND = "repro-serve-report"
+CHAOS_REPORT_KIND = "repro-chaos-report"
 
 _CONFIG_FIELDS = {
     "scheme": str,
@@ -185,9 +186,150 @@ def validate_report(doc: Any) -> List[str]:
     return errors
 
 
+_CHAOS_CONFIG_FIELDS = {
+    "scheme": str,
+    "levels": int,
+    "seed": int,
+    "max_batch": int,
+    "robustness": dict,
+    "cells": list,
+    "smoke": bool,
+}
+
+_CHAOS_CELL_FIELDS = {
+    "name": str,
+    "wall_s": (int, float),
+    "requests_per_s_wall": (int, float),
+    "sim": dict,
+}
+
+_CHAOS_ERROR_CELL_FIELDS = {
+    "name": str,
+    "error": str,
+}
+
+_CHAOS_SIM_FIELDS = {
+    "requests": int,
+    "completions": int,
+    "status": dict,
+    "availability": (int, float),
+    "accesses_issued": int,
+    "dedup_hits": int,
+    "coalesced_puts": int,
+    "absent_gets": int,
+    "scheduler_timeouts": int,
+    "degraded_reads": int,
+    "journal": dict,
+    "retries": int,
+    "episodes": dict,
+    "sim_ns": (int, float),
+    "requests_per_s_sim": (int, float),
+    "latency_ns": dict,
+    "robust": dict,
+}
+
+#: Completion statuses every chaos ``sim.status`` block must carry.
+_CHAOS_STATUSES = ("ok", "timed_out", "shed", "failed")
+
+
+def validate_chaos_report(doc: Any) -> List[str]:
+    """Validate a parsed chaos report; returns problems (empty = ok).
+
+    Beyond field shapes, checks the campaign's accounting closes:
+    every generated request completed with exactly one terminal status
+    (``completions == requests`` and the status counts sum to it), and
+    availability lies in [0, 1].
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"report root is {type(doc).__name__}, expected object"]
+    if doc.get("kind") != CHAOS_REPORT_KIND:
+        errors.append(
+            f"kind is {doc.get('kind')!r}, expected {CHAOS_REPORT_KIND!r}"
+        )
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("config: missing or not an object")
+    else:
+        _check_fields(config, _CHAOS_CONFIG_FIELDS, "config", errors)
+    if not isinstance(doc.get("environment"), dict):
+        errors.append("environment: missing or not an object")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append("cells: missing, not a list, or empty")
+        return errors
+    seen = set()
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if "error" in cell:
+            _check_fields(cell, _CHAOS_ERROR_CELL_FIELDS, where, errors)
+        else:
+            _check_fields(cell, _CHAOS_CELL_FIELDS, where, errors)
+            sim = cell.get("sim")
+            if isinstance(sim, dict):
+                _check_fields(sim, _CHAOS_SIM_FIELDS, f"{where}.sim", errors)
+                _check_percentiles(
+                    sim.get("latency_ns"), f"{where}.sim.latency_ns", errors
+                )
+                status = sim.get("status")
+                if isinstance(status, dict):
+                    for s in _CHAOS_STATUSES:
+                        if not isinstance(status.get(s), int):
+                            errors.append(
+                                f"{where}.sim.status: missing count {s!r}"
+                            )
+                    if (
+                        isinstance(sim.get("requests"), int)
+                        and isinstance(sim.get("completions"), int)
+                    ):
+                        total = sum(
+                            v for v in status.values() if isinstance(v, int)
+                        )
+                        if sim["completions"] != sim["requests"]:
+                            errors.append(
+                                f"{where}.sim: {sim['completions']} "
+                                f"completions for {sim['requests']} requests"
+                            )
+                        if total != sim["completions"]:
+                            errors.append(
+                                f"{where}.sim.status: counts sum to {total}, "
+                                f"expected {sim['completions']}"
+                            )
+                avail = sim.get("availability")
+                if (
+                    isinstance(avail, (int, float))
+                    and not isinstance(avail, bool)
+                    and not 0.0 <= avail <= 1.0
+                ):
+                    errors.append(
+                        f"{where}.sim: availability {avail} outside [0, 1]"
+                    )
+            wall = cell.get("wall_s")
+            if isinstance(wall, (int, float)) and wall <= 0:
+                errors.append(f"{where}: wall_s must be positive, got {wall}")
+        name = cell.get("name")
+        if name in seen:
+            errors.append(f"{where}: duplicate cell {name!r}")
+        seen.add(name)
+    return errors
+
+
 def cell_key(cell: Dict[str, Any]) -> str:
     """Stable identity of one matrix cell."""
     return f"{cell['workload']}/{cell['policy']}"
+
+
+def chaos_cell_key(cell: Dict[str, Any]) -> str:
+    """Stable identity of one chaos-campaign cell."""
+    return cell["name"]
 
 
 def deterministic_view(doc: Dict[str, Any]) -> Dict[str, Any]:

@@ -35,10 +35,18 @@ class KVServer:
         policy: str = "batch",
         max_batch: int = 32,
         seed: int = 0,
+        join_timeout_s: float = 30.0,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if join_timeout_s <= 0:
+            raise ValueError(
+                f"join_timeout_s must be positive, got {join_timeout_s}"
+            )
         self.max_batch = max_batch
+        self.join_timeout_s = join_timeout_s
+        #: The exception that killed the serve loop, if it died.
+        self._worker_error: Optional[BaseException] = None
         self._t0 = time.perf_counter_ns()
         self.scheduler = BatchScheduler(
             kv, policy=policy, seed=seed, clock=self._clock,
@@ -68,6 +76,10 @@ class KVServer:
         with self._work:
             if self._closed:
                 raise RuntimeError("server is closed")
+            if self._worker_error is not None:
+                raise RuntimeError(
+                    "server serve loop died"
+                ) from self._worker_error
             rid = self._next_rid
             self._next_rid = rid + 1
             self._queue.append(Request(
@@ -93,6 +105,18 @@ class KVServer:
     # ------------------------------------------------------------- serving
 
     def _serve_loop(self) -> None:
+        try:
+            self._serve_batches()
+        except BaseException as exc:   # noqa: BLE001 - recorded, fanned out
+            # The loop itself died (scheduler bug, broken clock, ...).
+            # Record the cause and fail everything still pending so no
+            # client -- present or future -- blocks on a dead worker.
+            with self._work:
+                self._worker_error = exc
+                self._fail_pending_locked(exc)
+                self._work.notify_all()
+
+    def _serve_batches(self) -> None:
         while True:
             with self._work:
                 while not self._queue and not self._closed:
@@ -116,10 +140,23 @@ class KVServer:
                     if future is not None:
                         future.set_result(comp)
 
+    def _fail_pending_locked(self, exc: BaseException) -> None:
+        """Fail every queued request's future (caller holds the lock)."""
+        self._queue.clear()
+        pending, self._futures = self._futures, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
     # ------------------------------------------------------------ lifecycle
 
     def close(self, drain: bool = True) -> None:
-        """Stop the serving thread (after draining the queue by default)."""
+        """Stop the serving thread (after draining the queue by default).
+
+        Never hangs: the join is bounded by ``join_timeout_s``, and if
+        the serve loop died (or wedged) any still-pending futures are
+        failed with the worker's exception instead of waiting forever.
+        """
         with self._work:
             if self._closed:
                 return
@@ -133,7 +170,16 @@ class KVServer:
                         )
             self._closed = True
             self._work.notify_all()
-        self._thread.join()
+        self._thread.join(timeout=self.join_timeout_s)
+        with self._work:
+            if self._futures or self._queue:
+                exc = self._worker_error
+                if exc is None:
+                    exc = RuntimeError(
+                        "server closed with the serve loop "
+                        f"unresponsive after {self.join_timeout_s:g}s"
+                    )
+                self._fail_pending_locked(exc)
 
     def stats(self) -> Dict[str, Any]:
         return self.scheduler.stats()

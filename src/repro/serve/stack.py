@@ -13,6 +13,7 @@ report that batching left per-access indistinguishability intact.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -25,6 +26,7 @@ from repro.mem.dram import DramModel
 from repro.mem.layout import TreeLayout
 from repro.mem.timing import DDR3_1600
 from repro.oram import metadata as md
+from repro.oram.recovery import RobustnessConfig
 from repro.sim.engine import DramSink
 
 
@@ -36,10 +38,19 @@ class ServedStack:
     dram_sink: DramSink
     telemetry: Optional[Any] = None
     attacker: Optional[GuessingAttacker] = None
+    #: Sealed data path + fault wrapper, present only on chaos stacks
+    #: (``build_stack`` with a robustness policy / fault plan).
+    datastore: Optional[Any] = None
+    faulty: Optional[Any] = None
 
     @property
     def now_ns(self) -> float:
         return self.dram_sink.now
+
+    def arm_faults(self) -> None:
+        """Start injecting the fault plan (call after population)."""
+        if self.faulty is not None:
+            self.faulty.armed = True
 
 
 def build_stack(
@@ -49,13 +60,25 @@ def build_stack(
     pad_chunks: int = 1,
     telemetry: Optional[Any] = None,
     observer: bool = True,
+    robustness: Optional[RobustnessConfig] = None,
+    fault_plan: Optional[Any] = None,
 ) -> ServedStack:
     """Build a timed, observable KV store over a fresh ORAM.
 
-    The payload path is the plaintext ``store_data`` dict: serving
-    benchmarks measure scheduling and simulated memory time, and the
-    sealed data path's crypto cost is host CPU the perf/faults
+    The default payload path is the plaintext ``store_data`` dict:
+    serving benchmarks measure scheduling and simulated memory time,
+    and the sealed data path's crypto cost is host CPU the perf/faults
     harnesses already cover.
+
+    Passing ``robustness`` (or a ``fault_plan``, which implies
+    ``RobustnessConfig(integrity=True)``) builds the *chaos* variant
+    instead, mirroring :class:`~repro.sim.engine.Simulation`: payloads
+    route through an :class:`~repro.oram.datastore.EncryptedTreeStore`
+    (ChaCha20 + MAC + Merkle) optionally wrapped in a
+    :class:`~repro.faults.memory.FaultyMemory` injecting the plan's
+    faults. The wrapper starts disarmed so the store can be populated
+    cleanly; call :meth:`ServedStack.arm_faults` before the measured
+    run. Sealed stacks cannot ``preload`` -- populate with real puts.
     """
     cfg = schemes_mod.by_name(scheme, levels)
     fields = (
@@ -66,15 +89,33 @@ def build_stack(
     dram_sink = DramSink(layout, DramModel(DDR3_1600, AddressMapping()))
     sink = dram_sink if telemetry is None else telemetry.tracing_sink(dram_sink)
     attacker = GuessingAttacker(cfg.levels, seed=seed + 1) if observer else None
+    if robustness is None and fault_plan is not None:
+        robustness = RobustnessConfig(integrity=True)
+    datastore = None
+    faulty = None
+    if robustness is not None:
+        from repro.faults.memory import FaultyMemory
+        from repro.oram.datastore import EncryptedTreeStore
+        master_key = hashlib.sha256(
+            b"repro/serve|" + str(seed).encode()
+        ).digest()
+        datastore = EncryptedTreeStore(
+            cfg, master_key, seed=seed, with_integrity=robustness.integrity,
+        )
+        if fault_plan is not None:
+            faulty = FaultyMemory(datastore, fault_plan, armed=False)
     oram = build_oram(
         cfg, sink=sink, seed=seed,
         observers=[attacker] if attacker is not None else [],
-        store_data=True,
+        store_data=datastore is None,
+        datastore=faulty if faulty is not None else datastore,
+        robustness=robustness,
     )
     oram.warm_fill()
     kv = ObliviousKV(oram, pad_chunks=pad_chunks)
     return ServedStack(
         kv=kv, dram_sink=dram_sink, telemetry=telemetry, attacker=attacker,
+        datastore=datastore, faulty=faulty,
     )
 
 

@@ -33,6 +33,9 @@ from repro.telemetry.spans import Span, trace_event_doc
 #: Event categories for the request-level spans.
 CAT_QUEUE = "serve.queue"
 CAT_SERVICE = "serve.oram"
+#: Category for the chaos-campaign resilience track (degraded-mode
+#: windows, fault-injection markers, shed/timeout/failed instants).
+CAT_RESILIENCE = "serve.resilience"
 
 
 def assign_lanes(completions: Sequence[Completion]) -> Dict[int, int]:
@@ -75,12 +78,70 @@ def _x_event(
     }
 
 
+def _instant_event(
+    name: str, tid: int, ts_ns: float, args: Dict[str, Any],
+) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "cat": CAT_RESILIENCE,
+        "ph": "i",
+        "s": "t",
+        "pid": 0,
+        "tid": tid,
+        "ts": ts_ns / 1000.0,
+        "args": args,
+    }
+
+
+def resilience_track_events(
+    events: Sequence[Dict[str, Any]], tid: int,
+) -> List[Dict[str, Any]]:
+    """Render resilience-loop events onto one timeline track.
+
+    Degraded-mode windows become ``X`` spans (paired ``degraded_exit``
+    events carry their ``enter_ns``); everything else -- fault
+    injections, sheds, timeouts, fails -- becomes an instant marker at
+    its simulated timestamp.
+    """
+    out: List[Dict[str, Any]] = []
+    for ev in events:
+        kind = ev["kind"]
+        if kind == "degraded_exit":
+            args = {
+                k: v for k, v in ev.items() if k not in ("kind", "ns")
+            }
+            out.append(_x_event(
+                "degraded", CAT_RESILIENCE, tid,
+                ev["enter_ns"], ev["ns"] - ev["enter_ns"], args,
+            ))
+        elif kind == "degraded_enter":
+            # Rendered as the paired exit's span; an unpaired enter
+            # (run ended degraded) still gets a marker.
+            out.append(_instant_event("degraded_enter", tid, ev["ns"], {
+                "quarantined": ev.get("quarantined", 0),
+            }))
+        else:
+            args = {
+                k: v for k, v in ev.items() if k not in ("kind", "ns")
+            }
+            out.append(_instant_event(kind, tid, ev["ns"], args))
+    return out
+
+
 def request_trace_doc(
     completions: Sequence[Completion],
     spans: Sequence[Span],
     meta: Optional[Dict[str, Any]] = None,
+    resilience_events: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
-    """Combine op spans and per-request spans into one trace document."""
+    """Combine op spans and per-request spans into one trace document.
+
+    ``resilience_events`` (from
+    :class:`~repro.serve.resilience.ChaosReplayResult`) adds one more
+    track carrying degraded-mode windows and fault/shed/timeout
+    markers, so the chaos timeline shows *when* serving degraded
+    alongside *what* each request experienced.
+    """
     lanes = assign_lanes(completions)
     n_lanes = max(lanes.values(), default=-1) + 1
     track_names = {0: "oram-ops"}
@@ -98,6 +159,10 @@ def request_trace_doc(
             "dedup": comp.dedup,
             "coalesced": comp.coalesced,
         }
+        if comp.status != "ok":
+            args["status"] = comp.status
+        if comp.degraded:
+            args["degraded"] = True
         if comp.queue_ns > 0:
             extra.append(_x_event(
                 "queue", CAT_QUEUE, tid,
@@ -107,6 +172,10 @@ def request_trace_doc(
             comp.op, CAT_SERVICE, tid,
             comp.start_ns, comp.service_ns, args,
         ))
+    if resilience_events:
+        tid = n_lanes + 1
+        track_names[tid] = "resilience"
+        extra.extend(resilience_track_events(resilience_events, tid))
     return trace_event_doc(
         spans, meta=meta, extra_events=extra, track_names=track_names,
     )
@@ -125,8 +194,10 @@ def write_trace(doc: Dict[str, Any], path: str) -> str:
 
 __all__ = [
     "CAT_QUEUE",
+    "CAT_RESILIENCE",
     "CAT_SERVICE",
     "assign_lanes",
     "request_trace_doc",
+    "resilience_track_events",
     "write_trace",
 ]

@@ -406,7 +406,7 @@ class Simulation:
                 for lv, q in sorted(oram.ext.queues.queues.items())
             }
             rentals = oram.ext.active_rentals()
-        return {
+        record = {
             "access": self._i,
             "ns": self.dram_sink.now,
             "stash_occupancy": oram.stash.occupancy,
@@ -416,6 +416,13 @@ class Simulation:
             "reshuffles_total": int(oram.store.reshuffles_by_level.sum()),
             "evictions": oram.evict_counter,
         }
+        if self.robustness is not None:
+            # Recovery-ladder progress is state too: fault campaigns
+            # watch detections/rebuilds climb and backoff stalls accrue
+            # on the same timeline as stash occupancy.
+            record["recovery"] = self.oram.robust.to_dict()
+            record["dram_stalled_ns"] = self.dram.stats.stalled_ns
+        return record
 
     def run(
         self,

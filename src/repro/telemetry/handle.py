@@ -103,6 +103,10 @@ class Telemetry:
                 reg.gauge(gauge_name).set(record[key])
         for lv, depth in record.get("deadq_depth", {}).items():
             reg.gauge(f"deadq.depth.L{lv}").set(depth)
+        if "dram_stalled_ns" in record:
+            reg.gauge("dram.stalled_ns").set(record["dram_stalled_ns"])
+        for name, value in record.get("recovery", {}).items():
+            reg.gauge(f"recovery.{name}").set(value)
         self.snapshots += 1
         self._write_line({"type": "snapshot", **record})
 

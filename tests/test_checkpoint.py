@@ -98,3 +98,40 @@ class TestCheckpointValidation:
         save_checkpoint(sim, path)
         assert path.exists()
         assert not (tmp_path / "ck.pkl.tmp").exists()
+
+
+class TestInterruptedCampaignRun:
+    def test_crash_mid_fault_campaign_resumes_byte_identical(self, tmp_path):
+        """Kill a periodically-checkpointing fault-campaign run partway
+        through (as a crash or ctrl-C would), resume from the file it
+        left on disk, and require the finished result byte-identical to
+        the uninterrupted run -- the ledger state a campaign cell is
+        computed from (fault history, outage state, recovery counters)
+        must all ride inside the checkpoint."""
+        import json
+
+        plan = FaultPlan(
+            seed=3, rates={"bit_flip": 0.005, "unavailable": 0.01},
+            max_outage_ops=2,
+        )
+        rcfg = RobustnessConfig(integrity=True, retry_budget=4)
+        baseline = _fresh(fault_plan=plan, robustness=rcfg).run()
+
+        sim = _fresh(fault_plan=plan, robustness=rcfg)
+        path = tmp_path / "campaign-ck.pkl"
+        # The checkpointing loop of Simulation.run, crashed partway
+        # between two periodic saves.
+        with pytest.raises(KeyboardInterrupt):
+            while sim.step():
+                if not sim.done and sim.position % 25 == 0:
+                    save_checkpoint(sim, path)
+                if sim.position > 77:
+                    raise KeyboardInterrupt
+
+        resumed = load_checkpoint(path)
+        assert 0 < resumed.position < 120
+        assert resumed.position % 25 == 0
+        result = resumed.run()
+        base_bytes = json.dumps(baseline.to_dict(), sort_keys=True).encode()
+        res_bytes = json.dumps(result.to_dict(), sort_keys=True).encode()
+        assert res_bytes == base_bytes

@@ -3,9 +3,10 @@
 
 A schema checker for the telemetry smoke gate: loads the trace, checks
 the document shape (``traceEvents`` array, ``displayTimeUnit``), checks
-every event against the trace-event format rules the exporter promises
+every event against the trace-event format rules the exporters promise
 (complete "X" events with numeric non-negative ``ts``/``dur``, matching
-``args.start_ns``/``args.dur_ns``), and optionally requires specific
+``args.start_ns``/``args.dur_ns``; thread-scoped "i" instants for the
+resilience timeline markers), and optionally requires specific
 operation kinds to be present (``--require-kinds readPath evictPath``).
 
 Dependency-free by design so it runs in any environment CI does; also
@@ -85,9 +86,23 @@ def validate_trace(
             if "name" not in event:
                 errors.append(f"{where}: metadata event without a name")
             continue
+        if ph == "i":                     # instant markers (resilience)
+            if "name" not in event:
+                errors.append(f"{where}: instant event without a name")
+            elif event.get("s") not in (None, "t", "p", "g"):
+                errors.append(f"{where}: instant scope must be t/p/g, "
+                              f"got {event.get('s')!r}")
+            else:
+                ts = event.get("ts")
+                if (not isinstance(ts, (int, float))
+                        or isinstance(ts, bool) or ts < 0):
+                    errors.append(f"{where}: instant ts must be a "
+                                  f"non-negative number, got {ts!r}")
+                kinds.add(event.get("name"))
+            continue
         if ph != "X":
             errors.append(f"{where}: unexpected phase {ph!r} "
-                          "(exporter emits only X and M events)")
+                          "(exporter emits only X, i and M events)")
             continue
         spans += 1
         kinds.add(event.get("name"))

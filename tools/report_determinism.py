@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Require two benchmark reports to have identical deterministic views.
+
+The serve/chaos harnesses promise their ``sim`` blocks are pure
+functions of the config -- byte-identical across repeat runs and any
+``--workers`` width. CI enforces that promise by running a harness
+twice (e.g. serial and ``--workers 2``) and feeding both artifacts to
+this checker, which strips the host-dependent fields
+(:func:`repro.serve.schema.deterministic_view`) and compares the
+canonical JSON encodings byte for byte.
+
+Usage: ``python tools/report_determinism.py A.json B.json`` -- exits
+non-zero with the first differing path when the reports diverge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+
+def _first_divergence(a: Any, b: Any, path: str = "$") -> str:
+    """A human-pointable path to the first structural difference."""
+    if type(a) is not type(b):
+        return f"{path}: {type(a).__name__} vs {type(b).__name__}"
+    if isinstance(a, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a or key not in b:
+                return f"{path}.{key}: present in only one report"
+            if a[key] != b[key]:
+                return _first_divergence(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, list):
+        if len(a) != len(b):
+            return f"{path}: length {len(a)} vs {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                return _first_divergence(x, y, f"{path}[{i}]")
+    return f"{path}: {a!r} != {b!r}"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("reports", nargs=2, metavar="REPORT",
+                        help="two report JSON files to compare")
+    args = parser.parse_args(argv)
+    docs = []
+    for path in args.reports:
+        try:
+            with open(path) as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            return 2
+    from repro.serve.schema import deterministic_bytes, deterministic_view
+    a, b = docs
+    if deterministic_bytes(a) == deterministic_bytes(b):
+        print(f"deterministic views identical: {args.reports[0]} == "
+              f"{args.reports[1]}")
+        return 0
+    where = _first_divergence(deterministic_view(a), deterministic_view(b))
+    print(f"deterministic views differ at {where}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
