@@ -8,7 +8,8 @@ PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: install test bench bench-full figures examples lint perf-smoke \
-	faults-smoke telemetry-smoke serve-smoke chaos-smoke ci clean
+	pipeline-smoke faults-smoke telemetry-smoke serve-smoke chaos-smoke \
+	ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -57,6 +58,32 @@ perf-smoke:
 	$(PYTHON) -m repro perf compare \
 	  benchmarks/baselines/BENCH_perf_smoke.json \
 	  generated/BENCH_perf_new.json --warn-only
+
+# CI pipeline smoke: the transaction-pipelined controller's three
+# gates, all hard failures. (1) the smoke matrix's ns/mcf@p4 cell must
+# beat its serial twin by >= 1.5x on simulated DRAM-ns with every
+# logical sim field identical, and the serial cells must match the
+# committed baseline bit for bit (depth 1 untouched by the pipeline).
+# (2) a second run over two spawn workers must produce a byte-identical
+# deterministic report view. (3) a pipelined traced run must emit a
+# schema-valid Perfetto trace (per-lane pipeline tracks included).
+pipeline-smoke:
+	$(PYTHON) -m repro perf run --smoke \
+	  --out generated/BENCH_pipeline.json
+	$(PYTHON) tools/check_pipeline.py generated/BENCH_pipeline.json \
+	  --baseline benchmarks/baselines/BENCH_perf_smoke.json \
+	  --min-speedup 1.5
+	$(PYTHON) -m repro perf run --smoke --workers 2 \
+	  --out generated/BENCH_pipeline_w2.json
+	$(PYTHON) tools/report_determinism.py \
+	  generated/BENCH_pipeline.json generated/BENCH_pipeline_w2.json
+	$(PYTHON) -m repro simulate --scheme ns --levels 10 --requests 500 \
+	  --warmup 100 --pipeline-depth 4 \
+	  --trace-out generated/trace_pipeline.json
+	$(PYTHON) tools/check_trace.py generated/trace_pipeline.json \
+	  --require-kinds readPath evictPath earlyReshuffle
+	$(PYTHON) tools/telemetry_overhead.py --max-overhead-pct 10 \
+	  --pipeline-depth 4
 
 # CI robustness smoke: fault-injection campaign; fails unless every
 # tampering fault (bit flip, replay) was detected. Fully deterministic.
@@ -110,10 +137,10 @@ chaos-smoke:
 	  benchmarks/baselines/BENCH_chaos_smoke.json \
 	  generated/BENCH_chaos.json --warn-only
 
-# Mirror of the CI pipeline: lint, tier-1 tests, perf/faults/telemetry/
-# serve/chaos smoke.
-ci: lint test perf-smoke faults-smoke telemetry-smoke serve-smoke \
-	chaos-smoke
+# Mirror of the CI pipeline: lint, tier-1 tests, perf/pipeline/faults/
+# telemetry/serve/chaos smoke.
+ci: lint test perf-smoke pipeline-smoke faults-smoke telemetry-smoke \
+	serve-smoke chaos-smoke
 
 # Removes only regenerated artifacts. Committed reference outputs
 # (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.

@@ -185,6 +185,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             warmup_requests=args.warmup,
             check_invariants=args.check,
             robustness=robustness,
+            pipeline_depth=args.pipeline_depth,
         ), telemetry=telemetry)
     try:
         result = simulation.run(
@@ -356,12 +357,26 @@ def cmd_perf_run(args: argparse.Namespace) -> int:
 
 
 def cmd_perf_profile(args: argparse.Namespace) -> int:
-    from repro.perf.profile import profile_cell
+    from repro.perf.profile import parse_cell, profile_cell
 
-    out = args.out or f"generated/PROFILE_{args.scheme}_{args.benchmark}.txt"
+    scheme, benchmark, depth = args.scheme, args.benchmark, args.pipeline_depth
+    if args.cell:
+        try:
+            sel = parse_cell(args.cell)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        scheme, benchmark = sel["scheme"], sel["benchmark"]
+        depth = sel["pipeline_depth"]
+        if scheme not in ALL_SCHEMES:
+            print(f"error: unknown scheme {scheme!r} in --cell "
+                  f"(choose from {', '.join(ALL_SCHEMES)})", file=sys.stderr)
+            return 2
+    suffix = f"_p{depth}" if depth > 1 else ""
+    out = args.out or f"generated/PROFILE_{scheme}_{benchmark}{suffix}.txt"
     report = profile_cell(
-        scheme=args.scheme,
-        benchmark=args.benchmark,
+        scheme=scheme,
+        benchmark=benchmark,
         suite=args.suite,
         levels=args.levels,
         n_requests=args.requests,
@@ -369,6 +384,7 @@ def cmd_perf_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         top_n=args.top,
         sort=args.sort,
+        pipeline_depth=depth,
     )
     _ensure_out_dir(out)
     with open(out, "w") as f:
@@ -675,6 +691,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=1000)
     p.add_argument("--warmup", type=int, default=300)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--pipeline-depth", type=int, default=1, metavar="D",
+                   help="transaction-pipeline depth: overlap the path "
+                        "read of access k+1 with the reshuffle/eviction "
+                        "drain of access k (default 1 = the serial "
+                        "controller, bit-identical to earlier releases; "
+                        "logical results are identical at every depth)")
     p.add_argument("--check", action="store_true",
                    help="verify protocol invariants after the run")
     p.add_argument("--integrity", action="store_true",
@@ -764,6 +786,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="matrix cell scheme (default: ab, the slowest)")
     pp.add_argument("--benchmark", default="mcf",
                     help="matrix cell trace (default: mcf)")
+    pp.add_argument("--cell", default=None, metavar="SCHEME/TRACE[@pN]",
+                    help="cell selector in report-key form (e.g. ns/mcf@p4 "
+                         "profiles the pipelined perf cell at depth 4); "
+                         "overrides --scheme/--benchmark/--pipeline-depth")
+    pp.add_argument("--pipeline-depth", type=int, default=1, metavar="D",
+                    help="profile the cell on the pipelined controller at "
+                         "this depth (default 1 = serial)")
     pp.add_argument("--suite", default="spec", choices=["spec", "parsec"])
     pp.add_argument("--levels", type=int, default=12)
     pp.add_argument("--requests", type=int, default=2000)

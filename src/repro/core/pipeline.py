@@ -1,0 +1,450 @@
+"""Transaction-pipelined timing sink: overlap path reads with drain.
+
+:class:`PipelinedDramSink` is a drop-in replacement for
+:class:`~repro.sim.engine.DramSink` that decouples the controller's
+*logical* execution from the DRAM *timing* schedule. The controller
+still runs strictly sequentially -- same code, same RNG streams, so
+fetched values, stash contents and the position map are identical at
+every depth -- but the timestamps its operations are replayed at may
+overlap: the path read for access k+1 is issued while the reshuffle /
+eviction write-backs for access k are still draining into DRAM.
+
+How it works
+------------
+
+Every protocol operation (``begin_op`` .. ``end_op``) is *buffered*:
+data/metadata touches are recorded as (kind, addresses, phase) events
+instead of being issued to the DRAM model immediately. At ``end_op``
+the operation is scheduled as a unit:
+
+- Operations are grouped into *transactions*: one online operation
+  (readPath or posMap) plus the maintenance work (evictPath,
+  earlyReshuffle, background, recovery) that follows it. A new
+  transaction opens at the next online ``begin_op`` after a clock
+  advance, after any maintenance op, or after the current transaction
+  already performed its online op -- so batched serving pipelines
+  per-access without driver changes.
+- An explicit in-flight transaction table enforces the pipeline
+  shape: transaction k's first operation may not start before
+  transaction k-1's first operation (in-order issue) nor before
+  transaction k-depth completed (bounded depth); accumulated CPU gap
+  (``advance``) is added once at transaction start. Operations within
+  a transaction chain on each other, exactly as in the serial sink.
+- A bucket-level conflict tracker replaces global serialization: an
+  operation touching an off-chip bucket whose earlier operation (e.g.
+  an in-flight reshuffle) has not completed waits for *that bucket*
+  only; on-chip treetop levels never conflict. Stalls are counted as
+  ``pipeline.conflict_stalls`` / ``conflict_stall_ns``.
+- Within an operation the serial sink's phase rules are replayed
+  verbatim (metadata read -> data reads -> data writes -> metadata
+  write-back), so at ``depth=1`` every float operation matches
+  :class:`~repro.sim.engine.DramSink` and the schedule is
+  bit-identical (production configs route depth 1 through the serial
+  sink anyway).
+
+Operations are issued to the DRAM model in program order with
+possibly-earlier arrival stamps; the model's bank/bus frontiers only
+move forward, so earlier-issued operations are never retroactively
+delayed (a conservative, causal approximation). Two consequences are
+documented rather than hidden: summed per-kind operation times can
+exceed ``exec_ns`` once operations overlap, and ``now`` is the
+completion frontier advanced by CPU pacing, so an idle ``advance``
+lands on top of the frontier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.mem.dram import DramModel
+from repro.mem.layout import TreeLayout
+from repro.oram.stats import MemorySink, OpKind
+
+#: Online (latency-critical) operation kinds; everything else is
+#: maintenance that a later transaction's read may overlap with.
+ONLINE_KINDS = frozenset((OpKind.READ_PATH, OpKind.POSMAP))
+
+
+class PipelinedDramSink(MemorySink):
+    """Schedule buffered protocol ops with bounded-depth overlap."""
+
+    def __init__(
+        self,
+        layout: TreeLayout,
+        dram: DramModel,
+        depth: int,
+        telemetry: Optional[Any] = None,
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1, got {depth}")
+        self.layout = layout
+        self.dram = dram
+        self.depth = depth
+        self.telemetry = telemetry
+        # Address computation mirrors DramSink (plain-int arithmetic
+        # over a materialized offset list).
+        self._data_base = layout.base_addr
+        self._data_off = layout._offsets.tolist()
+        self._block_bytes = layout.cfg.block_bytes
+        self._meta_base = layout.meta_base
+        self._meta_stride = layout.meta_stride
+        #: Completion frontier advanced by CPU pacing (see module doc).
+        self.now = 0.0
+        self.time_by_kind: Dict[OpKind, float] = {k: 0.0 for k in OpKind}
+        self.ops_by_kind: Dict[OpKind, int] = {k: 0 for k in OpKind}
+        self.readpath_latencies: List[float] = []
+        self.remote_accesses = 0
+        # ---------------------------------------- transaction table
+        #: Start time of the last transaction's first op (in-order issue).
+        self._issue_frontier = 0.0
+        #: Max completion over transactions retired from the window.
+        self._retire_floor = 0.0
+        #: Completions of the last < depth finalized transactions.
+        self._inflight: Deque[float] = deque()
+        self._txn_index = -1
+        self._txn_open = False
+        self._txn_end = 0.0
+        self._txn_has_online = False
+        self._boundary = True
+        self._pending_gap = 0.0
+        #: bucket id -> completion of its last in-flight *write-back*
+        #: (reshuffle / eviction refill). Reads only check this table;
+        #: they never register in it -- read-vs-read overlap on a
+        #: bucket is harmless, only a bucket whose reshuffle is still
+        #: draining must stall the transactions that touch it.
+        self._bucket_free: Dict[int, float] = {}
+        # ---------------------------------------- per-op buffering
+        self._op_kind: Optional[OpKind] = None
+        self._op_new_txn = False
+        self._ev: List[Tuple] = []
+        self._op_buckets: Set[int] = set()
+        self._op_wbuckets: Set[int] = set()
+        # ---------------------------------------- pipeline metrics
+        self.txns = 0
+        self.conflict_stalls = 0
+        self.conflict_stall_ns = 0.0
+        self.inflight_peak = 0
+        self.inflight_sum = 0
+        self.inflight_samples = 0
+        if telemetry is not None:
+            tracks = getattr(telemetry, "track_names", None)
+            if tracks is not None:
+                for lane in range(depth):
+                    tracks.setdefault(1 + lane, f"pipeline lane {lane}")
+
+    # ------------------------------------------------------------- clocking
+
+    def advance(self, ns: float) -> None:
+        """Advance the clock (CPU compute between requests).
+
+        The gap is banked and added once at the next transaction's
+        start, so pacing constrains issue order without serializing
+        against in-flight maintenance drain.
+        """
+        if ns < 0:
+            raise ValueError(f"cannot advance time by {ns}")
+        self._pending_gap += ns
+        self.now += ns
+        self._boundary = True
+
+    def stall(self, ns: float) -> None:
+        """Charge controller stall time (retry backoff) to the clock."""
+        if ns < 0:
+            raise ValueError(f"cannot stall for {ns}")
+        self.dram.stats.stalled_ns += ns
+        if self._op_kind is None:
+            self._pending_gap += ns
+            self.now += ns
+            self._boundary = True
+        else:
+            self._ev.append(("t", ns))
+
+    def reset_measurement(self) -> float:
+        """Zero the attribution counters (end of warm-up).
+
+        DRAM bank/bus state, the clock and the transaction table are
+        preserved; returns the measurement start time. Transactions
+        already in flight at the boundary keep draining, so the first
+        measured transactions may overlap warm-up work -- the same
+        boundary approximation the serial model makes for open rows.
+        """
+        self.time_by_kind = {k: 0.0 for k in OpKind}
+        self.ops_by_kind = {k: 0 for k in OpKind}
+        self.readpath_latencies = []
+        self.remote_accesses = 0
+        self.txns = 0
+        self.conflict_stalls = 0
+        self.conflict_stall_ns = 0.0
+        self.inflight_peak = 0
+        self.inflight_sum = 0
+        self.inflight_samples = 0
+        self.dram.stats.__init__()
+        busy = self.dram.channel_busy_ns
+        busy[:] = [0.0] * len(busy)
+        bank = self.dram.bank_busy_ns
+        bank[:] = [0.0] * len(bank)
+        return self.now
+
+    # ------------------------------------------------------------ sink API
+
+    def begin_op(self, kind: OpKind) -> None:
+        if self._op_kind is not None:
+            raise RuntimeError(f"nested op {kind} inside {self._op_kind}")
+        self._op_kind = kind
+        self._op_new_txn = kind in ONLINE_KINDS and (
+            self._boundary or self._txn_has_online
+        )
+        self._ev = []
+        self._op_buckets = set()
+        self._op_wbuckets = set()
+
+    def data_access(self, bucket, slot, level, write, onchip=False,
+                    remote=False):
+        if onchip:
+            return
+        if remote:
+            self.remote_accesses += 1
+        addr = (self._data_base + self._data_off[bucket]
+                + slot * self._block_bytes)
+        self._ev.append(("s", addr, write, 2 if write else 1))
+        self._op_buckets.add(bucket)
+        if write:
+            self._op_wbuckets.add(bucket)
+
+    def metadata_access(self, bucket, level, write, onchip=False, blocks=1):
+        if onchip:
+            return
+        addr = self._meta_base + bucket * self._meta_stride
+        phase = 3 if write else 0
+        if blocks == 1:
+            self._ev.append(("s", addr, write, phase))
+        else:
+            bb = self._block_bytes
+            self._ev.append(
+                ("b", [addr + i * bb for i in range(blocks)], write, phase)
+            )
+        self._op_buckets.add(bucket)
+
+    def data_access_many(self, items, write):
+        # Same all-onchip phase rule as the serial sink: an empty
+        # off-chip batch records nothing, so later lower-phase events
+        # replay before any phase transition.
+        base = self._data_base
+        off = self._data_off
+        bb = self._block_bytes
+        addrs = []
+        append = addrs.append
+        buckets = self._op_buckets
+        remotes = 0
+        wbuckets = self._op_wbuckets
+        for bucket, slot, level, onchip, remote in items:
+            if onchip:
+                continue
+            if remote:
+                remotes += 1
+            append(base + off[bucket] + slot * bb)
+            buckets.add(bucket)
+            if write:
+                wbuckets.add(bucket)
+        if not addrs:
+            return
+        self.remote_accesses += remotes
+        self._ev.append(("b", addrs, write, 2 if write else 1))
+
+    def data_access_repeat(self, bucket, slot, level, count, write,
+                           onchip=False, remote=False):
+        if onchip or count <= 0:
+            return
+        if remote:
+            self.remote_accesses += count
+        addr = (self._data_base + self._data_off[bucket]
+                + slot * self._block_bytes)
+        self._ev.append(("r", addr, count, write, 2 if write else 1))
+        self._op_buckets.add(bucket)
+        if write:
+            self._op_wbuckets.add(bucket)
+
+    def data_access_block(self, bucket, slots, level, write,
+                          onchip=False, remote=False):
+        if onchip or not slots:
+            return
+        if remote:
+            self.remote_accesses += len(slots)
+        base = self._data_base + self._data_off[bucket]
+        bb = self._block_bytes
+        self._ev.append(
+            ("b", [base + slot * bb for slot in slots], write,
+             2 if write else 1)
+        )
+        self._op_buckets.add(bucket)
+        if write:
+            self._op_wbuckets.add(bucket)
+
+    def metadata_access_many(self, items, write, blocks=1):
+        base = self._meta_base
+        stride = self._meta_stride
+        bb = self._block_bytes
+        addrs = []
+        append = addrs.append
+        buckets = self._op_buckets
+        if blocks == 1:
+            for bucket, level, onchip in items:
+                if not onchip:
+                    append(base + bucket * stride)
+                    buckets.add(bucket)
+        else:
+            for bucket, level, onchip in items:
+                if onchip:
+                    continue
+                addr = base + bucket * stride
+                for _ in range(blocks):
+                    append(addr)
+                    addr += bb
+                buckets.add(bucket)
+        if not addrs:
+            return
+        self._ev.append(("b", addrs, write, 3 if write else 0))
+
+    # ----------------------------------------------------------- scheduling
+
+    def end_op(self) -> None:
+        kind = self._op_kind
+        if kind is None:
+            raise RuntimeError("end_op without begin_op")
+        self._op_kind = None
+        if self._op_new_txn:
+            # Finalize the previous transaction into the in-flight
+            # window; entries pushed past the depth bound retire into
+            # the floor every later transaction must clear.
+            if self._txn_open:
+                self._inflight.append(self._txn_end)
+                while len(self._inflight) > self.depth - 1:
+                    done = self._inflight.popleft()
+                    if done > self._retire_floor:
+                        self._retire_floor = done
+            chain = self._issue_frontier
+            if self._retire_floor > chain:
+                chain = self._retire_floor
+            self._txn_open = True
+            self._txn_index += 1
+            self._txn_has_online = False
+            self._txn_end = 0.0
+        else:
+            chain = self._txn_end if self._txn_open else 0.0
+        start = chain + self._pending_gap
+        self._pending_gap = 0.0
+        # Bucket-level conflicts: wait for the latest in-flight op on
+        # any off-chip bucket this op touches (and only for those).
+        free = self._bucket_free
+        pre = start
+        for bucket in self._op_buckets:
+            t = free.get(bucket)
+            if t is not None and t > start:
+                start = t
+        if start > pre:
+            self.conflict_stalls += 1
+            self.conflict_stall_ns += start - pre
+        if self._op_new_txn:
+            self.txns += 1
+            # The issue frontier advances by the *pre-conflict* issue
+            # point: a bucket conflict stalls only this transaction,
+            # never the ones behind it.
+            self._issue_frontier = pre
+            occupancy = 1
+            for done in self._inflight:
+                if done > start:
+                    occupancy += 1
+            self.inflight_sum += occupancy
+            self.inflight_samples += 1
+            if occupancy > self.inflight_peak:
+                self.inflight_peak = occupancy
+        end = self._replay(start)
+        for bucket in self._op_wbuckets:
+            free[bucket] = end
+        if end > self._txn_end:
+            self._txn_end = end
+        if kind in ONLINE_KINDS:
+            self._txn_has_online = True
+        else:
+            # Maintenance finished: the next online op is a new access
+            # even if the driver never advances the clock (serving).
+            self._boundary = True
+        if end > self.now:
+            self.now = end
+        duration = end - start
+        self.time_by_kind[kind] += duration
+        self.ops_by_kind[kind] += 1
+        if kind is OpKind.READ_PATH:
+            self.readpath_latencies.append(duration)
+        t = self.telemetry
+        if t is not None:
+            t.record_span(str(kind), start, duration)
+            t.extra_events.append({
+                "name": str(kind),
+                "cat": "pipeline",
+                "ph": "X",
+                "pid": 0,
+                "tid": 1 + self._txn_index % self.depth,
+                "ts": start / 1000.0,
+                "dur": duration / 1000.0,
+                "args": {"start_ns": start, "dur_ns": duration,
+                         "txn": self._txn_index},
+            })
+        self._ev = []
+        self._op_buckets = set()
+        self._op_wbuckets = set()
+
+    def _replay(self, start: float) -> float:
+        """Issue the buffered op at ``start``; returns its completion.
+
+        Phase chaining is verbatim from the serial sink: entering a
+        later phase waits for every earlier request of the operation.
+        """
+        dram = self.dram
+        op_end = start
+        phase = 0
+        phase_start = start
+        for ev in self._ev:
+            tag = ev[0]
+            if tag == "t":
+                op_end += ev[1]
+                continue
+            p = ev[-1]
+            if p > phase:
+                phase = p
+                phase_start = op_end
+            if tag == "b":
+                done = dram.access_batch(ev[1], ev[2], phase_start)
+            elif tag == "s":
+                done = dram.access(ev[1], ev[2], phase_start)
+            else:
+                done = dram.access_repeat(ev[1], ev[2], ev[3], phase_start)
+            if done > op_end:
+                op_end = done
+        return op_end
+
+    # -------------------------------------------------------------- metrics
+
+    def pipeline_metrics(self) -> Dict[str, float]:
+        """Occupancy / conflict counters for telemetry export."""
+        online = 0.0
+        maint = 0.0
+        for kind, ns in self.time_by_kind.items():
+            if kind in ONLINE_KINDS:
+                online += ns
+            else:
+                maint += ns
+        return {
+            "depth": self.depth,
+            "txns": self.txns,
+            "inflight_peak": self.inflight_peak,
+            "inflight_mean": (
+                self.inflight_sum / self.inflight_samples
+                if self.inflight_samples else 0.0
+            ),
+            "conflict_stalls": self.conflict_stalls,
+            "conflict_stall_ns": self.conflict_stall_ns,
+            "online_busy_ns": online,
+            "maint_busy_ns": maint,
+        }

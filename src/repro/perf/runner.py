@@ -38,6 +38,11 @@ class PerfConfig:
     seed: int = 0
     repeats: int = 1
     smoke: bool = False
+    #: Extra pipelined cells as (scheme, bench, depth) triples, run
+    #: after the serial cross product. Each shares the matrix sizes
+    #: and seed; its cell records ``pipeline_depth`` and keys as
+    #: ``scheme/bench@p<depth>``.
+    pipeline: Sequence[Tuple[str, str, int]] = ()
     workers: int = 1
     progress: Any = None  # callable(str) for live cell updates
     # Collect a merged metrics-registry snapshot across the sweep.
@@ -57,6 +62,7 @@ class PerfConfig:
             "seed": self.seed,
             "repeats": self.repeats,
             "smoke": self.smoke,
+            "pipeline_cells": [list(t) for t in self.pipeline],
         }
 
 
@@ -83,8 +89,20 @@ def smoke_config(**overrides: Any) -> PerfConfig:
         warmup_requests=100,
         repeats=1,
         smoke=True,
+        # The reshuffle-heavy pipelined cell: ns/mcf at depth 4 is the
+        # tracked >= 1.5x speedup cell (vs its serial ns/mcf twin).
+        pipeline=(("ns", "mcf", 4),),
     )
-    return replace(base, **overrides)
+    cfg = replace(base, **overrides)
+    if "pipeline" not in overrides:
+        # Narrowing --schemes/--benchmarks prunes default pipelined
+        # cells that fell outside the selection (each needs its serial
+        # twin in the matrix to be comparable).
+        cfg = replace(cfg, pipeline=tuple(
+            (s, b, d) for s, b, d in cfg.pipeline
+            if s in cfg.schemes and b in cfg.benchmarks
+        ))
+    return cfg
 
 
 def _environment() -> Dict[str, str]:
@@ -117,7 +135,7 @@ def _sim_block(result: SimResult) -> Dict[str, Any]:
 
 
 def _run_one_cell(
-    cfg: PerfConfig, scheme_name: str, bench: str
+    cfg: PerfConfig, scheme_name: str, bench: str, depth: int = 1
 ) -> Tuple[float, SimResult]:
     """Best-of-``repeats`` wall time plus the (deterministic) result."""
     scheme = schemes_mod.by_name(scheme_name, cfg.levels)
@@ -132,7 +150,11 @@ def _run_one_cell(
             n_requests=cfg.n_requests,
             warmup_requests=cfg.warmup_requests,
             seed=cfg.seed,
-            sim=SimConfig(seed=cfg.seed, warmup_requests=cfg.warmup_requests),
+            sim=SimConfig(
+                seed=cfg.seed,
+                warmup_requests=cfg.warmup_requests,
+                pipeline_depth=depth,
+            ),
         )
         wall = time.perf_counter() - t0
         if best is None or wall < best:
@@ -142,15 +164,18 @@ def _run_one_cell(
     return best, result
 
 
-def _perf_cell_task(payload: Tuple[PerfConfig, str, str]) -> Dict[str, Any]:
+def _perf_cell_task(
+    payload: Tuple[PerfConfig, str, str, int]
+) -> Dict[str, Any]:
     """One matrix cell, runnable in-process or in a spawn worker.
 
     Returns the finished report cell (plain JSON-able dict, so crossing
     the process boundary never pickles a SimResult or a callback).
     """
-    cfg, scheme_name, bench = payload
-    report_progress(f"running {scheme_name}/{bench} ...")
-    wall, result = _run_one_cell(cfg, scheme_name, bench)
+    cfg, scheme_name, bench, depth = payload
+    label = f"{scheme_name}/{bench}" + (f"@p{depth}" if depth > 1 else "")
+    report_progress(f"running {label} ...")
+    wall, result = _run_one_cell(cfg, scheme_name, bench, depth)
     if cfg.telemetry:
         # Only deterministic quantities go into the registry (never
         # wall time), so the merged snapshot is identical for serial
@@ -168,13 +193,16 @@ def _perf_cell_task(payload: Tuple[PerfConfig, str, str]) -> Dict[str, Any]:
         reg.gauge("perf.stash_peak").set(result.stash_peak)
         reg.gauge("perf.dead_blocks").set(int(result.dead_blocks))
         reg.histogram("perf.exec_ns").observe(result.exec_ns)
-    return {
+    cell = {
         "scheme": scheme_name,
         "trace": bench,
         "wall_s": wall,
         "accesses_per_s": cfg.n_requests / wall if wall > 0 else 0.0,
         "sim": _sim_block(result),
     }
+    if depth > 1:
+        cell["pipeline_depth"] = depth
+    return cell
 
 
 def run_perf(cfg: Optional[PerfConfig] = None) -> Dict[str, Any]:
@@ -192,23 +220,33 @@ def run_perf(cfg: Optional[PerfConfig] = None) -> Dict[str, Any]:
     # pickle; report_progress routes through the pool's queue) and
     # serial inside (parallelism lives at the matrix level).
     worker_cfg = replace(cfg, progress=None, workers=1)
-    pairs = [(s, b) for s in cfg.schemes for b in cfg.benchmarks]
+    triples = [(s, b, 1) for s in cfg.schemes for b in cfg.benchmarks]
+    triples += [(s, b, int(d)) for s, b, d in cfg.pipeline]
     outputs = run_cells(
         _perf_cell_task,
-        [Cell(f"{s}/{b}", (worker_cfg, s, b)) for s, b in pairs],
+        [
+            Cell(
+                f"{s}/{b}" + (f"@p{d}" if d > 1 else ""),
+                (worker_cfg, s, b, d),
+            )
+            for s, b, d in triples
+        ],
         workers=cfg.workers,
         progress=cfg.progress,
     )
     cells: List[Dict[str, Any]] = []
-    for (scheme_name, bench), res in zip(pairs, outputs):
+    for (scheme_name, bench, depth), res in zip(triples, outputs):
         if res.ok:
             cells.append(res.value)
         else:
-            cells.append({
+            err = {
                 "scheme": scheme_name,
                 "trace": bench,
                 "error": res.error,
-            })
+            }
+            if depth > 1:
+                err["pipeline_depth"] = depth
+            cells.append(err)
     doc: Dict[str, Any] = {
         "kind": REPORT_KIND,
         "schema_version": SCHEMA_VERSION,

@@ -61,6 +61,12 @@ _CONFIG_FIELDS = {
     "smoke": bool,
 }
 
+# Optional config fields (reports written before they existed stay
+# valid): extra pipelined cells as [scheme, trace, depth] triples.
+_CONFIG_OPTIONAL_FIELDS = {
+    "pipeline_cells": list,
+}
+
 _CELL_FIELDS = {
     "scheme": str,
     "trace": str,
@@ -73,6 +79,12 @@ _ERROR_CELL_FIELDS = {
     "scheme": str,
     "trace": str,
     "error": str,
+}
+
+# Optional cell field: a pipelined cell carries the depth it ran at
+# (depth-1 cells omit it, keeping historical reports byte-identical).
+_CELL_OPTIONAL_FIELDS = {
+    "pipeline_depth": int,
 }
 
 _SIM_FIELDS = {
@@ -131,6 +143,12 @@ def validate_report(doc: Any) -> List[str]:
         errors.append("config: missing or not an object")
     else:
         _check_fields(config, _CONFIG_FIELDS, "config", errors)
+        for name, typ in _CONFIG_OPTIONAL_FIELDS.items():
+            if name in config and not isinstance(config[name], typ):
+                errors.append(
+                    f"config: field {name!r} has type "
+                    f"{type(config[name]).__name__}, expected {typ}"
+                )
     env = doc.get("environment")
     if not isinstance(env, dict):
         errors.append("environment: missing or not an object")
@@ -154,7 +172,15 @@ def validate_report(doc: Any) -> List[str]:
             wall = cell.get("wall_s")
             if isinstance(wall, (int, float)) and wall <= 0:
                 errors.append(f"{where}: wall_s must be positive, got {wall}")
-        key = (cell.get("scheme"), cell.get("trace"))
+        depth = cell.get("pipeline_depth")
+        if depth is not None and (
+            isinstance(depth, bool) or not isinstance(depth, int) or depth < 1
+        ):
+            errors.append(
+                f"{where}: pipeline_depth must be an int >= 1, got {depth!r}"
+            )
+        key = (cell.get("scheme"), cell.get("trace"),
+               cell.get("pipeline_depth", 1))
         if key in seen:
             errors.append(f"{where}: duplicate cell {key}")
         seen.add(key)
@@ -162,5 +188,44 @@ def validate_report(doc: Any) -> List[str]:
 
 
 def cell_key(cell: Dict[str, Any]) -> str:
-    """Stable identity of one matrix cell."""
-    return f"{cell['scheme']}/{cell['trace']}"
+    """Stable identity of one matrix cell.
+
+    Pipelined cells are distinct from their serial twin: the depth is
+    appended as ``@p<depth>`` (depth 1 / absent keeps the historical
+    two-part key).
+    """
+    key = f"{cell['scheme']}/{cell['trace']}"
+    depth = cell.get("pipeline_depth", 1)
+    if depth > 1:
+        key += f"@p{depth}"
+    return key
+
+
+def deterministic_view(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """The report reduced to its run-to-run deterministic content.
+
+    Strips host-dependent fields (``wall_s``, ``accesses_per_s``, the
+    ``environment`` block) so two runs of the same code -- serial or
+    with any worker count -- agree byte-for-byte on the result.
+    """
+    out: Dict[str, Any] = {
+        k: v for k, v in doc.items()
+        if k not in ("environment",)
+    }
+    cells = []
+    for cell in doc.get("cells", []):
+        cells.append({
+            k: v for k, v in cell.items()
+            if k not in ("wall_s", "accesses_per_s")
+        })
+    out["cells"] = cells
+    return out
+
+
+def deterministic_bytes(doc: Dict[str, Any]) -> bytes:
+    """Canonical JSON encoding of :func:`deterministic_view`."""
+    import json
+
+    return json.dumps(
+        deterministic_view(doc), sort_keys=True, separators=(",", ":")
+    ).encode()

@@ -35,7 +35,9 @@ class ServedStack:
     """Everything one serving cell owns."""
 
     kv: ObliviousKV
-    dram_sink: DramSink
+    #: DramSink, or a PipelinedDramSink when built with depth > 1
+    #: (both expose ``now`` and the per-op attribution counters).
+    dram_sink: Any
     telemetry: Optional[Any] = None
     attacker: Optional[GuessingAttacker] = None
     #: Sealed data path + fault wrapper, present only on chaos stacks
@@ -62,6 +64,8 @@ def build_stack(
     observer: bool = True,
     robustness: Optional[RobustnessConfig] = None,
     fault_plan: Optional[Any] = None,
+    pipeline_depth: int = 1,
+    dram_window: int = 32,
 ) -> ServedStack:
     """Build a timed, observable KV store over a fresh ORAM.
 
@@ -79,15 +83,35 @@ def build_stack(
     faults. The wrapper starts disarmed so the store can be populated
     cleanly; call :meth:`ServedStack.arm_faults` before the measured
     run. Sealed stacks cannot ``preload`` -- populate with real puts.
+
+    ``pipeline_depth > 1`` serves on the transaction-pipelined
+    controller (:mod:`repro.core.pipeline`): path reads of request k+1
+    overlap the reshuffle drain of request k on a windowed DRAM model.
+    Timing only -- responses are identical at every depth.
     """
+    if pipeline_depth < 1:
+        raise ValueError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
     cfg = schemes_mod.by_name(scheme, levels)
     fields = (
         md.ab_metadata_fields(cfg) if needs_extensions(cfg)
         else md.ring_metadata_fields(cfg)
     )
     layout = TreeLayout(cfg, metadata_blocks=md.metadata_blocks(cfg, fields))
-    dram_sink = DramSink(layout, DramModel(DDR3_1600, AddressMapping()))
-    sink = dram_sink if telemetry is None else telemetry.tracing_sink(dram_sink)
+    if pipeline_depth > 1:
+        from repro.core.pipeline import PipelinedDramSink
+        dram = DramModel(DDR3_1600, AddressMapping(),
+                         window=dram_window if dram_window > 0 else None)
+        # The pipelined sink stamps its own overlapped op spans; a
+        # TracingSink wrapper would re-stamp them off a serial clock
+        # (mirrors Simulation's stack construction).
+        dram_sink = PipelinedDramSink(
+            layout, dram, depth=pipeline_depth, telemetry=telemetry
+        )
+        sink: Any = dram_sink
+    else:
+        dram_sink = DramSink(layout, DramModel(DDR3_1600, AddressMapping()))
+        sink = (dram_sink if telemetry is None
+                else telemetry.tracing_sink(dram_sink))
     attacker = GuessingAttacker(cfg.levels, seed=seed + 1) if observer else None
     if robustness is None and fault_plan is not None:
         robustness = RobustnessConfig(integrity=True)

@@ -101,6 +101,8 @@ class DramSink(MemorySink):
         self.dram.stats.__init__()
         busy = self.dram.channel_busy_ns
         busy[:] = [0.0] * len(busy)
+        bank = self.dram.bank_busy_ns
+        bank[:] = [0.0] * len(bank)
         return self.now
 
     # ------------------------------------------------------------ sink API
@@ -275,6 +277,15 @@ class SimConfig:
     check_invariants: bool = False
     robustness: Optional[RobustnessConfig] = None
     fault_plan: Optional[Any] = None
+    #: Transaction-pipeline depth (see repro.core.pipeline). Depth 1
+    #: keeps the historical strictly-serial DramSink -- bit-identical
+    #: to every committed baseline; depth > 1 overlaps path reads with
+    #: reshuffle/eviction drain (timing only; logical results are
+    #: identical at every depth).
+    pipeline_depth: int = 1
+    #: Outstanding-request window per DRAM channel in pipelined mode
+    #: (0 disables admission bounding). Ignored at depth 1.
+    dram_window: int = 32
 
 
 class Simulation:
@@ -309,8 +320,24 @@ class Simulation:
             else md.ring_metadata_fields(cfg)
         )
         layout = TreeLayout(cfg, metadata_blocks=md.metadata_blocks(cfg, fields))
-        self.dram = DramModel(sim.timing, sim.mapping)
-        self.dram_sink = DramSink(layout, self.dram)
+        depth = sim.pipeline_depth
+        if depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, got {depth}")
+        if depth > 1:
+            from repro.core.pipeline import PipelinedDramSink
+            self.dram = DramModel(
+                sim.timing, sim.mapping,
+                window=sim.dram_window if sim.dram_window > 0 else None,
+            )
+            # The pipelined sink records its own (overlapped) op spans,
+            # so telemetry must not wrap it in a TracingSink -- the
+            # wrapper would stamp spans off the serial-looking clock.
+            self.dram_sink = PipelinedDramSink(
+                layout, self.dram, depth=depth, telemetry=telemetry
+            )
+        else:
+            self.dram = DramModel(sim.timing, sim.mapping)
+            self.dram_sink = DramSink(layout, self.dram)
         # The controller talks straight to the DramSink: SimResult's
         # op/time breakdown comes from the sink itself, and a tee'd
         # CountingSink would cost one extra dispatch per memory touch.
@@ -322,7 +349,8 @@ class Simulation:
         sink: MemorySink = self.dram_sink
         observers = sim.observers
         if telemetry is not None:
-            sink = telemetry.tracing_sink(self.dram_sink)
+            if depth == 1:
+                sink = telemetry.tracing_sink(self.dram_sink)
             if telemetry.observe_events:
                 observers = list(observers) + [telemetry.observer()]
         robustness = sim.robustness
@@ -416,6 +444,23 @@ class Simulation:
             "reshuffles_total": int(oram.store.reshuffles_by_level.sum()),
             "evictions": oram.evict_counter,
         }
+        st = self.dram.stats
+        record["dram"] = {
+            "channel_busy_ns": [float(x) for x in self.dram.channel_busy_ns],
+            "bank_busy_peak_ns": float(max(self.dram.bank_busy_ns)),
+            "queue_depth_peak": st.queue_depth_peak,
+            "queue_depth_mean": st.queue_depth_mean,
+        }
+        metrics = getattr(self.dram_sink, "pipeline_metrics", None)
+        if metrics is not None:
+            pipe = metrics()
+            elapsed = self.dram_sink.now - self._measure_start
+            pipe["dram_busy_frac"] = (
+                sum(self.dram.channel_busy_ns)
+                / len(self.dram.channel_busy_ns) / elapsed
+                if elapsed > 0 else 0.0
+            )
+            record["pipeline"] = pipe
         if self.robustness is not None:
             # Recovery-ladder progress is state too: fault campaigns
             # watch detections/rebuilds climb and backoff stalls accrue

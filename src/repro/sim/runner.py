@@ -109,6 +109,8 @@ def run_suite(
         seed=base_sim.seed,
         observers=base_sim.observers,
         check_invariants=base_sim.check_invariants,
+        pipeline_depth=base_sim.pipeline_depth,
+        dram_window=base_sim.dram_window,
     )
     cells: List[Tuple[str, str, Tuple[OramConfig, Trace, SimConfig]]] = []
     for bench in names:

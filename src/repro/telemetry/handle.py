@@ -55,6 +55,11 @@ class Telemetry:
         self.meta: Dict[str, Any] = dict(meta or {})
         self.registry = MetricsRegistry()
         self.spans: List[Span] = []
+        #: Pre-built trace events appended verbatim to the Chrome trace
+        #: (the pipelined sink lays per-lane op spans here) and the
+        #: thread_name labels for the extra tids they live on.
+        self.extra_events: List[Dict[str, Any]] = []
+        self.track_names: Dict[int, str] = {}
         self.snapshots = 0
         self._span_counters: Dict[str, Any] = {}
         self._span_hists: Dict[str, Histogram] = {}
@@ -105,6 +110,19 @@ class Telemetry:
             reg.gauge(f"deadq.depth.L{lv}").set(depth)
         if "dram_stalled_ns" in record:
             reg.gauge("dram.stalled_ns").set(record["dram_stalled_ns"])
+        dram = record.get("dram")
+        if dram:
+            busy = dram.get("channel_busy_ns", ())
+            for ch, ns in enumerate(busy):
+                reg.gauge(f"dram.channel_busy_ns.ch{ch}").set(ns)
+            if busy:
+                reg.gauge("dram.channel_busy_ns.max").set(max(busy))
+            for key in ("bank_busy_peak_ns", "queue_depth_peak",
+                        "queue_depth_mean"):
+                if key in dram:
+                    reg.gauge(f"dram.{key}").set(dram[key])
+        for name, value in (record.get("pipeline") or {}).items():
+            reg.gauge(f"pipeline.{name}").set(value)
         for name, value in record.get("recovery", {}).items():
             reg.gauge(f"recovery.{name}").set(value)
         self.snapshots += 1
@@ -154,7 +172,14 @@ class Telemetry:
             if parent:
                 os.makedirs(parent, exist_ok=True)
             with open(self.trace_path, "w") as f:
-                json.dump(trace_event_doc(self.spans, meta=self.meta), f)
+                json.dump(
+                    trace_event_doc(
+                        self.spans, meta=self.meta,
+                        extra_events=self.extra_events,
+                        track_names=self.track_names,
+                    ),
+                    f,
+                )
                 f.write("\n")
 
     def __enter__(self) -> "Telemetry":

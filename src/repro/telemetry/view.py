@@ -92,6 +92,39 @@ def _snapshot_rows(snapshots: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
             "last": last["deadq_depth"][lv],
             "peak": max(depths),
         })
+    dram = last.get("dram")
+    if dram:
+        busy = dram.get("channel_busy_ns", [])
+        rows.append({"metric": "dram.channel_busy_ns",
+                     "last": sum(busy), "peak": max(busy) if busy else None})
+        rows.append({"metric": "dram.bank_busy_peak_ns",
+                     "last": dram.get("bank_busy_peak_ns"), "peak": None})
+        rows.append({
+            "metric": "dram.queue_depth",
+            "last": dram.get("queue_depth_mean"),
+            "peak": max(s.get("dram", {}).get("queue_depth_peak", 0)
+                        for s in snapshots),
+        })
+    pipe = last.get("pipeline")
+    if pipe:
+        rows.append({"metric": "pipeline.depth",
+                     "last": pipe.get("depth"), "peak": None})
+        rows.append({
+            "metric": "pipeline.inflight",
+            "last": pipe.get("inflight_mean"),
+            "peak": max(s.get("pipeline", {}).get("inflight_peak", 0)
+                        for s in snapshots),
+        })
+        rows.append({"metric": "pipeline.conflict_stalls",
+                     "last": pipe.get("conflict_stalls"),
+                     "peak": None})
+        rows.append({"metric": "pipeline.conflict_stall_ns",
+                     "last": pipe.get("conflict_stall_ns"),
+                     "peak": None})
+        rows.append({"metric": "pipeline.dram_busy_frac",
+                     "last": pipe.get("dram_busy_frac"),
+                     "peak": max(s.get("pipeline", {}).get("dram_busy_frac", 0.0)
+                                 for s in snapshots)})
     return rows
 
 

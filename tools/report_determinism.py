@@ -5,9 +5,11 @@ The serve/chaos harnesses promise their ``sim`` blocks are pure
 functions of the config -- byte-identical across repeat runs and any
 ``--workers`` width. CI enforces that promise by running a harness
 twice (e.g. serial and ``--workers 2``) and feeding both artifacts to
-this checker, which strips the host-dependent fields
-(:func:`repro.serve.schema.deterministic_view`) and compares the
-canonical JSON encodings byte for byte.
+this checker, which strips the host-dependent fields and compares the
+canonical JSON encodings byte for byte. Serve/chaos reports reduce via
+:func:`repro.serve.schema.deterministic_view`; perf-matrix reports
+(``"kind": "repro-perf-report"``, including their pipelined ``@pN``
+cells) via :func:`repro.perf.schema.deterministic_view`.
 
 Usage: ``python tools/report_determinism.py A.json B.json`` -- exits
 non-zero with the first differing path when the reports diverge.
@@ -53,8 +55,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (OSError, json.JSONDecodeError) as exc:
             print(f"{path}: {exc}", file=sys.stderr)
             return 2
-    from repro.serve.schema import deterministic_bytes, deterministic_view
     a, b = docs
+    from repro.perf.schema import REPORT_KIND as PERF_KIND
+    if a.get("kind") != b.get("kind"):
+        print(f"report kinds differ: {a.get('kind')!r} vs {b.get('kind')!r}",
+              file=sys.stderr)
+        return 1
+    if a.get("kind") == PERF_KIND:
+        from repro.perf.schema import deterministic_bytes, deterministic_view
+    else:
+        from repro.serve.schema import deterministic_bytes, deterministic_view
     if deterministic_bytes(a) == deterministic_bytes(b):
         print(f"deterministic views identical: {args.reports[0]} == "
               f"{args.reports[1]}")

@@ -23,17 +23,22 @@ import time
 from typing import Sequence
 
 
-def _run_once(levels: int, requests: int, seed: int, telemetry: bool) -> float:
+def _run_once(levels: int, requests: int, seed: int, telemetry: bool,
+              pipeline_depth: int = 1) -> float:
     from repro.core import schemes as schemes_mod
     from repro.sim.engine import SimConfig, Simulation
     from repro.sim.runner import make_trace
     from repro.telemetry import Telemetry
 
-    cfg = schemes_mod.by_name("ab", levels)
+    scheme = "ns" if pipeline_depth > 1 else "ab"
+    cfg = schemes_mod.by_name(scheme, levels)
     trace = make_trace("spec", "mcf", cfg.n_real_blocks, requests, seed=seed)
     handle = Telemetry(metrics_every=100) if telemetry else None
     t0 = time.perf_counter()
-    sim = Simulation(cfg, trace, SimConfig(seed=seed), telemetry=handle)
+    sim = Simulation(
+        cfg, trace, SimConfig(seed=seed, pipeline_depth=pipeline_depth),
+        telemetry=handle,
+    )
     result = sim.run()
     wall = time.perf_counter() - t0
     if handle is not None:
@@ -54,26 +59,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--max-overhead-pct", type=float, default=10.0,
                         help="fail when telemetry-on exceeds telemetry-off "
                              "by more than this (default: 10%%)")
+    parser.add_argument("--pipeline-depth", type=int, default=1,
+                        help="also measure the overhead on the pipelined "
+                             "controller at this depth (the ns scheme, "
+                             "whose reshuffle drain the pipeline overlaps); "
+                             "1 = serial only (default)")
     args = parser.parse_args(argv)
 
-    # One throwaway run to warm imports, trace caches and the allocator
-    # before anything is timed.
-    _run_once(args.levels, args.requests, args.seed, telemetry=False)
-
-    best_off = best_on = float("inf")
-    for _ in range(max(1, args.repeats)):
-        best_off = min(best_off, _run_once(
-            args.levels, args.requests, args.seed, telemetry=False))
-        best_on = min(best_on, _run_once(
-            args.levels, args.requests, args.seed, telemetry=True))
-    overhead_pct = 100.0 * (best_on - best_off) / best_off
-    print(f"telemetry off: {best_off * 1e3:.1f} ms   "
-          f"on: {best_on * 1e3:.1f} ms   "
-          f"overhead: {overhead_pct:+.2f}% "
-          f"(bound: {args.max_overhead_pct:.1f}%)")
-    if overhead_pct > args.max_overhead_pct:
-        print(f"FAIL: telemetry overhead {overhead_pct:.2f}% exceeds "
-              f"{args.max_overhead_pct:.1f}%", file=sys.stderr)
+    configs = [("serial", 1)]
+    if args.pipeline_depth > 1:
+        configs.append((f"pipelined(d={args.pipeline_depth})",
+                        args.pipeline_depth))
+    failed = False
+    for label, depth in configs:
+        # One throwaway run to warm imports, trace caches and the
+        # allocator before anything is timed.
+        _run_once(args.levels, args.requests, args.seed, telemetry=False,
+                  pipeline_depth=depth)
+        best_off = best_on = float("inf")
+        for _ in range(max(1, args.repeats)):
+            best_off = min(best_off, _run_once(
+                args.levels, args.requests, args.seed, telemetry=False,
+                pipeline_depth=depth))
+            best_on = min(best_on, _run_once(
+                args.levels, args.requests, args.seed, telemetry=True,
+                pipeline_depth=depth))
+        overhead_pct = 100.0 * (best_on - best_off) / best_off
+        print(f"[{label}] telemetry off: {best_off * 1e3:.1f} ms   "
+              f"on: {best_on * 1e3:.1f} ms   "
+              f"overhead: {overhead_pct:+.2f}% "
+              f"(bound: {args.max_overhead_pct:.1f}%)")
+        if overhead_pct > args.max_overhead_pct:
+            print(f"FAIL: [{label}] telemetry overhead {overhead_pct:.2f}% "
+                  f"exceeds {args.max_overhead_pct:.1f}%", file=sys.stderr)
+            failed = True
+    if failed:
         return 1
     print("telemetry overhead within bound")
     return 0
