@@ -9,7 +9,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: install test bench bench-full figures examples lint perf-smoke \
 	pipeline-smoke faults-smoke telemetry-smoke serve-smoke chaos-smoke \
-	ci clean
+	shard-smoke ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -137,10 +137,28 @@ chaos-smoke:
 	  benchmarks/baselines/BENCH_chaos_smoke.json \
 	  generated/BENCH_chaos.json --warn-only
 
+# CI shard smoke: the sharded fleet's capacity curve. Hard gates: the
+# shards=4 fleet must clear 3x the single-shard served throughput, and
+# the kill-a-shard drill must stay above its availability floor with
+# 100% tamper detection and an all-healthy control plane. Runs twice
+# -- serial and with one spawn worker per shard -- and requires the
+# deterministic report view byte-identical across the two, then
+# soft-compares against the committed baseline curve.
+shard-smoke:
+	$(PYTHON) -m repro serve scaling --smoke \
+	  --out generated/BENCH_scaling.json --require-speedup 3.0
+	$(PYTHON) -m repro serve scaling --smoke --workers 2 \
+	  --out generated/BENCH_scaling_w2.json
+	$(PYTHON) tools/report_determinism.py \
+	  generated/BENCH_scaling.json generated/BENCH_scaling_w2.json
+	$(PYTHON) -m repro serve compare \
+	  benchmarks/baselines/BENCH_scaling_smoke.json \
+	  generated/BENCH_scaling.json --warn-only
+
 # Mirror of the CI pipeline: lint, tier-1 tests, perf/pipeline/faults/
-# telemetry/serve/chaos smoke.
+# telemetry/serve/chaos/shard smoke.
 ci: lint test perf-smoke pipeline-smoke faults-smoke telemetry-smoke \
-	serve-smoke chaos-smoke
+	serve-smoke chaos-smoke shard-smoke
 
 # Removes only regenerated artifacts. Committed reference outputs
 # (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.

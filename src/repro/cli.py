@@ -11,6 +11,9 @@ Commands:
   writes a Perfetto-loadable Chrome trace of every protocol operation
   and ``--metrics-every N`` controls the JSONL snapshot cadence
   (telemetry observes only: results stay bit-identical);
+  ``--shards N`` partitions the trace over N right-sized subtrees
+  (:mod:`repro.core.sharding`) and reports the fleet makespan next to
+  the per-shard results;
 - ``telemetry`` -- ``telemetry view FILE`` renders a telemetry JSONL
   stream as summary tables;
 - ``sweep``    -- scheme x benchmark matrix with normalized exec times;
@@ -35,13 +38,19 @@ Commands:
   timeline; ``serve chaos [--smoke]`` runs the fault-injection
   campaign *under live load* (deadlines, load shedding, degraded-mode
   recovery) and emits generated/BENCH_chaos.json, with
-  ``--require-detection`` as its CI gate; ``serve compare`` diffs two
-  reports of either kind; ``serve demo`` runs the threaded KV server
-  front-end against live client threads.
+  ``--require-detection`` as its CI gate; ``serve scaling [--smoke]``
+  serves one workload on 1..16-shard AB-ORAM fleets
+  (:mod:`repro.core.sharding`) and emits generated/BENCH_scaling.json
+  -- the capacity curve: fleet throughput, per-shard memory, the
+  kill-a-shard drill and the control-plane health summary, with
+  ``--require-speedup`` as its CI gate; ``serve compare`` diffs two
+  reports of any serve kind; ``serve demo`` runs the threaded KV
+  server front-end against live client threads.
 
-``sweep``, ``perf run``, ``faults run``, ``serve bench`` and ``serve
-chaos`` all accept ``--workers N`` to fan their independent cells over
-a process pool; the deterministic report content never depends on the
+``sweep``, ``perf run``, ``faults run``, ``serve bench``, ``serve
+chaos``, ``serve scaling`` and ``simulate --shards`` all accept
+``--workers N`` to fan their independent cells (or shards) over a
+process pool; the deterministic report content never depends on the
 worker count.
 
 Every command prints the same text tables the benchmarks emit, so the
@@ -142,9 +151,73 @@ def _simulate_telemetry(args: argparse.Namespace):
     )
 
 
+def _simulate_sharded(args: argparse.Namespace) -> int:
+    """The ``simulate --shards N`` path: a partitioned fleet run."""
+    from repro.core.sharding import run_sharded_sim
+
+    incompatible = [
+        ("--integrity", args.integrity),
+        ("--check", args.check),
+        ("--checkpoint", bool(args.checkpoint)),
+        ("--checkpoint-every", bool(args.checkpoint_every)),
+        ("--resume", bool(args.resume)),
+        ("--trace-out", bool(args.trace_out)),
+        ("--metrics-out", bool(args.metrics_out)),
+    ]
+    bad = [flag for flag, on in incompatible if on]
+    if bad:
+        print(f"error: --shards cannot be combined with {', '.join(bad)} "
+              "(shards are independent plain simulations; run those flags "
+              "against a single tree)", file=sys.stderr)
+        return 2
+    cfg = schemes_mod.by_name(args.scheme, args.levels)
+    trace = _make_trace(args.suite, args.bench, cfg.n_real_blocks,
+                        args.requests, args.seed)
+    outcome = run_sharded_sim(
+        args.scheme, trace, cfg.n_real_blocks, args.shards,
+        warmup_requests=args.warmup, seed=args.seed,
+        pipeline_depth=args.pipeline_depth, workers=args.workers,
+        progress=stderr_progress,
+    )
+    merged = outcome.merged_sim_block()
+    print(render_mapping_table(
+        [{
+            "scheme": outcome.scheme,
+            "benchmark": outcome.trace,
+            "shards": outcome.num_shards,
+            "shard_levels": outcome.shard_levels,
+            "makespan_ms": merged["exec_ns"] / 1e6,
+            "ns_per_access": merged["ns_per_access"],
+            "stash_peak": merged["stash_peak"],
+            "reshuffles": merged["reshuffles_total"],
+            "row_hit": merged["row_hit_rate"],
+        }],
+        title=f"Sharded simulation (fleet of {outcome.num_shards})",
+    ))
+    print()
+    print(render_mapping_table(
+        [{
+            "shard": i,
+            "blocks": outcome.shard_blocks[i],
+            "requests": outcome.shard_requests[i],
+            "exec_ms": r.exec_ns / 1e6,
+            "ns_per_access": r.ns_per_access,
+            "stash_peak": r.stash_peak,
+        } for i, r in enumerate(outcome.per_shard)],
+        title="Per-shard results",
+    ))
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.engine import Simulation
 
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _simulate_sharded(args)
     ckpt_path = args.checkpoint or args.resume
     if args.checkpoint_every and not ckpt_path:
         print("error: --checkpoint-every requires --checkpoint PATH "
@@ -585,6 +658,48 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_scaling(args: argparse.Namespace) -> int:
+    from repro.serve.report import render_scaling_report
+    from repro.serve.scaling import (
+        full_config, run_scaling, scaling_check, smoke_config,
+    )
+    from repro.serve.schema import validate_scaling_report
+    import json
+
+    factory = smoke_config if args.smoke else full_config
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.max_batch is not None:
+        overrides["max_batch"] = args.max_batch
+    if args.measured_levels is not None:
+        overrides["measured_levels"] = args.measured_levels
+    cfg = factory(progress=stderr_progress, workers=args.workers,
+                  **overrides)
+    doc = run_scaling(cfg)
+    errors = validate_scaling_report(doc)
+    if errors:
+        for e in errors:
+            print(f"error: report self-check failed: {e}", file=sys.stderr)
+        return 2
+    _ensure_out_dir(args.out)
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(render_scaling_report(doc))
+    print(f"\nwrote {args.out}")
+    if args.require_speedup is not None:
+        problems = scaling_check(doc, min_speedup=args.require_speedup)
+        if problems:
+            for line in problems:
+                print(f"SCALING GAP {line}")
+            return 1
+        print(f"scaling check: fleet speedup >= {args.require_speedup:g}x "
+              "at 4 shards, drills recovered above their availability "
+              "floors, control plane healthy")
+    return 0
+
+
 def cmd_serve_demo(args: argparse.Namespace) -> int:
     """Exercise the threaded front-end with live client threads."""
     import threading
@@ -721,6 +836,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="snapshot stash/DeadQ/rental state every N "
                         "requests into the JSONL stream (default: 100; "
                         "0 disables periodic snapshots)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition the trace over N independent subtrees "
+                        "via the keyed-PRF shard map and report the fleet "
+                        "makespan (default 1 = one tree; incompatible "
+                        "with checkpointing, telemetry and --integrity)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width for --shards fan-out (results "
+                        "are byte-identical to --workers 1)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("sweep", help="scheme x benchmark matrix")
@@ -910,10 +1033,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "detected while serving -- the CI gate")
     sx.set_defaults(func=cmd_serve_chaos)
 
-    sc = serve_sub.add_parser("compare", help="diff two serve or chaos "
-                                              "reports (kind-dispatched)")
-    sc.add_argument("baseline", help="baseline BENCH_serve.json or "
-                                     "BENCH_chaos.json")
+    ss = serve_sub.add_parser("scaling", help="capacity curve over 1..N "
+                                              "shard AB-ORAM fleets")
+    ss.add_argument("--smoke", action="store_true",
+                    help="seconds-scale curve for CI (2^16 blocks, "
+                         "shards 1/2/4, plus the kill-a-shard drill)")
+    ss.add_argument("--out", default="generated/BENCH_scaling.json",
+                    help="report path (default: generated/"
+                         "BENCH_scaling.json; the directory is created "
+                         "if missing)")
+    ss.add_argument("--workers", type=int, default=1,
+                    help="process-pool width for each fleet's shards; "
+                         "the report is byte-identical to --workers 1 "
+                         "except the wall_s fields")
+    ss.add_argument("--seed", type=int, default=None)
+    ss.add_argument("--max-batch", type=int, default=None,
+                    help="admission batch cap per shard scheduler round")
+    ss.add_argument("--measured-levels", type=int, default=None,
+                    help="tree depth the measured shard stacks run at "
+                         "(memory analytics always use the right-sized "
+                         "per-shard depth)")
+    ss.add_argument("--require-speedup", type=float, default=None,
+                    metavar="RATIO",
+                    help="exit 1 unless every blocks row's 4-shard fleet "
+                         "beats its 1-shard fleet by RATIO in simulated "
+                         "ns/request, every drill recovers above its "
+                         "availability floor and the control plane ends "
+                         "healthy -- the CI gate")
+    ss.set_defaults(func=cmd_serve_scaling)
+
+    sc = serve_sub.add_parser("compare", help="diff two serve, chaos or "
+                                              "scaling reports "
+                                              "(kind-dispatched)")
+    sc.add_argument("baseline", help="baseline BENCH_serve.json, "
+                                     "BENCH_chaos.json or "
+                                     "BENCH_scaling.json")
     sc.add_argument("new", help="candidate report of the same kind")
     sc.add_argument("--threshold", type=float, default=10.0,
                     help="max tolerated simulated-throughput drop or p99 "

@@ -22,7 +22,7 @@ from repro.perf.schema import REPORT_KIND, SCHEMA_VERSION
 from repro.telemetry.metrics import merge_snapshots
 from repro.sim.engine import SimConfig
 from repro.sim.results import SimResult
-from repro.sim.runner import run_suite
+from repro.sim.runner import make_trace, run_suite
 
 
 @dataclass
@@ -43,6 +43,11 @@ class PerfConfig:
     #: and seed; its cell records ``pipeline_depth`` and keys as
     #: ``scheme/bench@p<depth>``.
     pipeline: Sequence[Tuple[str, str, int]] = ()
+    #: Extra sharded cells as (scheme, bench, shards) triples: the same
+    #: trace partitioned over N subtrees (:mod:`repro.core.sharding`)
+    #: with the fleet makespan as ``exec_ns``. Keys as
+    #: ``scheme/bench@s<shards>`` next to the serial twin.
+    shards: Sequence[Tuple[str, str, int]] = ()
     workers: int = 1
     progress: Any = None  # callable(str) for live cell updates
     # Collect a merged metrics-registry snapshot across the sweep.
@@ -63,13 +68,36 @@ class PerfConfig:
             "repeats": self.repeats,
             "smoke": self.smoke,
             "pipeline_cells": [list(t) for t in self.pipeline],
+            "shard_cells": [list(t) for t in self.shards],
         }
+
+
+def _prune_extras(cfg: PerfConfig, overrides: Dict[str, Any]) -> PerfConfig:
+    """Drop default pipelined/sharded cells outside --schemes/--benchmarks.
+
+    Each extra cell needs its serial twin in the matrix to be
+    comparable, so narrowing the selection prunes the defaults (an
+    explicit override is kept verbatim).
+    """
+    if "pipeline" not in overrides:
+        cfg = replace(cfg, pipeline=tuple(
+            (s, b, d) for s, b, d in cfg.pipeline
+            if s in cfg.schemes and b in cfg.benchmarks
+        ))
+    if "shards" not in overrides:
+        cfg = replace(cfg, shards=tuple(
+            (s, b, n) for s, b, n in cfg.shards
+            if s in cfg.schemes and b in cfg.benchmarks
+        ))
+    return cfg
 
 
 def full_config(**overrides: Any) -> PerfConfig:
     """The default matrix. Its first cell (ring/mcf at L12, 2000
-    requests) is the tracked headline cell."""
-    return replace(PerfConfig(), **overrides)
+    requests) is the tracked headline cell. ``ab/mcf@s4`` is the
+    tracked sharded cell: the same trace over a 4-subtree fleet."""
+    base = PerfConfig(shards=(("ab", "mcf", 4),))
+    return _prune_extras(replace(base, **overrides), overrides)
 
 
 def smoke_config(**overrides: Any) -> PerfConfig:
@@ -92,17 +120,11 @@ def smoke_config(**overrides: Any) -> PerfConfig:
         # The reshuffle-heavy pipelined cell: ns/mcf at depth 4 is the
         # tracked >= 1.5x speedup cell (vs its serial ns/mcf twin).
         pipeline=(("ns", "mcf", 4),),
+        # The sharded cell: ab/mcf over a 4-subtree fleet (makespan
+        # measures the fleet effect against the serial ab/mcf twin).
+        shards=(("ab", "mcf", 4),),
     )
-    cfg = replace(base, **overrides)
-    if "pipeline" not in overrides:
-        # Narrowing --schemes/--benchmarks prunes default pipelined
-        # cells that fell outside the selection (each needs its serial
-        # twin in the matrix to be comparable).
-        cfg = replace(cfg, pipeline=tuple(
-            (s, b, d) for s, b, d in cfg.pipeline
-            if s in cfg.schemes and b in cfg.benchmarks
-        ))
-    return cfg
+    return _prune_extras(replace(base, **overrides), overrides)
 
 
 def _environment() -> Dict[str, str]:
@@ -164,45 +186,98 @@ def _run_one_cell(
     return best, result
 
 
+def _run_sharded_cell(
+    cfg: PerfConfig, scheme_name: str, bench: str, num_shards: int
+) -> Tuple[float, Dict[str, Any]]:
+    """Best-of-``repeats`` wall time plus the merged fleet sim block.
+
+    The trace is the serial twin's trace exactly (same suite, block
+    count, request count and seed), partitioned over ``num_shards``
+    right-sized subtrees; ``exec_ns`` of the returned block is the
+    fleet makespan.
+    """
+    from repro.core.sharding.sharded import run_sharded_sim
+
+    scheme = schemes_mod.by_name(scheme_name, cfg.levels)
+    trace = make_trace(
+        cfg.suite, bench, scheme.n_real_blocks, cfg.n_requests,
+        seed=cfg.seed,
+    )
+    best = None
+    merged: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, cfg.repeats)):
+        t0 = time.perf_counter()
+        outcome = run_sharded_sim(
+            scheme_name, trace, scheme.n_real_blocks, num_shards,
+            warmup_requests=cfg.warmup_requests, seed=cfg.seed,
+        )
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+        merged = outcome.merged_sim_block()
+    assert best is not None and merged is not None
+    return best, merged
+
+
+def _record_telemetry(cfg: PerfConfig, sim: Dict[str, Any]) -> None:
+    """Fold one cell's deterministic counters into the worker registry.
+
+    Only deterministic quantities go into the registry (never wall
+    time), so the merged snapshot is identical for serial and parallel
+    sweeps.
+    """
+    reg = worker_registry()
+    reg.counter("perf.cells").inc()
+    reg.counter("perf.requests").inc(cfg.n_requests)
+    reg.counter("perf.reshuffles").inc(sim["reshuffles_total"])
+    reg.counter("perf.dram_reads").inc(sim["dram_reads"])
+    reg.counter("perf.dram_writes").inc(sim["dram_writes"])
+    reg.counter("perf.remote_accesses").inc(sim["remote_accesses"])
+    reg.counter("perf.evictions").inc(sim["evictions"])
+    reg.counter("perf.background_accesses").inc(sim["background_accesses"])
+    reg.gauge("perf.stash_peak").set(sim["stash_peak"])
+    reg.gauge("perf.dead_blocks").set(sim["dead_blocks"])
+    reg.histogram("perf.exec_ns").observe(sim["exec_ns"])
+
+
 def _perf_cell_task(
-    payload: Tuple[PerfConfig, str, str, int]
+    payload: Tuple[PerfConfig, str, str, int, int]
 ) -> Dict[str, Any]:
     """One matrix cell, runnable in-process or in a spawn worker.
 
     Returns the finished report cell (plain JSON-able dict, so crossing
     the process boundary never pickles a SimResult or a callback).
     """
-    cfg, scheme_name, bench, depth = payload
-    label = f"{scheme_name}/{bench}" + (f"@p{depth}" if depth > 1 else "")
-    report_progress(f"running {label} ...")
-    wall, result = _run_one_cell(cfg, scheme_name, bench, depth)
+    cfg, scheme_name, bench, depth, num_shards = payload
+    report_progress(f"running {_cell_label(scheme_name, bench, depth, num_shards)} ...")
+    if num_shards > 1:
+        wall, sim = _run_sharded_cell(cfg, scheme_name, bench, num_shards)
+    else:
+        wall, result = _run_one_cell(cfg, scheme_name, bench, depth)
+        sim = _sim_block(result)
     if cfg.telemetry:
-        # Only deterministic quantities go into the registry (never
-        # wall time), so the merged snapshot is identical for serial
-        # and parallel sweeps.
-        reg = worker_registry()
-        reg.counter("perf.cells").inc()
-        reg.counter("perf.requests").inc(cfg.n_requests)
-        reg.counter("perf.reshuffles").inc(sum(result.reshuffles_by_level))
-        reg.counter("perf.dram_reads").inc(int(result.dram_reads))
-        reg.counter("perf.dram_writes").inc(int(result.dram_writes))
-        reg.counter("perf.remote_accesses").inc(int(result.remote_accesses))
-        reg.counter("perf.evictions").inc(int(result.evictions))
-        reg.counter("perf.background_accesses").inc(
-            int(result.background_accesses))
-        reg.gauge("perf.stash_peak").set(result.stash_peak)
-        reg.gauge("perf.dead_blocks").set(int(result.dead_blocks))
-        reg.histogram("perf.exec_ns").observe(result.exec_ns)
+        _record_telemetry(cfg, sim)
     cell = {
         "scheme": scheme_name,
         "trace": bench,
         "wall_s": wall,
         "accesses_per_s": cfg.n_requests / wall if wall > 0 else 0.0,
-        "sim": _sim_block(result),
+        "sim": sim,
     }
     if depth > 1:
         cell["pipeline_depth"] = depth
+    if num_shards > 1:
+        cell["shards"] = num_shards
     return cell
+
+
+def _cell_label(scheme: str, bench: str, depth: int, num_shards: int) -> str:
+    label = f"{scheme}/{bench}"
+    if depth > 1:
+        label += f"@p{depth}"
+    if num_shards > 1:
+        label += f"@s{num_shards}"
+    return label
 
 
 def run_perf(cfg: Optional[PerfConfig] = None) -> Dict[str, Any]:
@@ -220,22 +295,20 @@ def run_perf(cfg: Optional[PerfConfig] = None) -> Dict[str, Any]:
     # pickle; report_progress routes through the pool's queue) and
     # serial inside (parallelism lives at the matrix level).
     worker_cfg = replace(cfg, progress=None, workers=1)
-    triples = [(s, b, 1) for s in cfg.schemes for b in cfg.benchmarks]
-    triples += [(s, b, int(d)) for s, b, d in cfg.pipeline]
+    quads = [(s, b, 1, 1) for s in cfg.schemes for b in cfg.benchmarks]
+    quads += [(s, b, int(d), 1) for s, b, d in cfg.pipeline]
+    quads += [(s, b, 1, int(n)) for s, b, n in cfg.shards]
     outputs = run_cells(
         _perf_cell_task,
         [
-            Cell(
-                f"{s}/{b}" + (f"@p{d}" if d > 1 else ""),
-                (worker_cfg, s, b, d),
-            )
-            for s, b, d in triples
+            Cell(_cell_label(s, b, d, n), (worker_cfg, s, b, d, n))
+            for s, b, d, n in quads
         ],
         workers=cfg.workers,
         progress=cfg.progress,
     )
     cells: List[Dict[str, Any]] = []
-    for (scheme_name, bench, depth), res in zip(triples, outputs):
+    for (scheme_name, bench, depth, num_shards), res in zip(quads, outputs):
         if res.ok:
             cells.append(res.value)
         else:
@@ -246,6 +319,8 @@ def run_perf(cfg: Optional[PerfConfig] = None) -> Dict[str, Any]:
             }
             if depth > 1:
                 err["pipeline_depth"] = depth
+            if num_shards > 1:
+                err["shards"] = num_shards
             cells.append(err)
     doc: Dict[str, Any] = {
         "kind": REPORT_KIND,

@@ -62,9 +62,11 @@ _CONFIG_FIELDS = {
 }
 
 # Optional config fields (reports written before they existed stay
-# valid): extra pipelined cells as [scheme, trace, depth] triples.
+# valid): extra pipelined cells as [scheme, trace, depth] triples and
+# extra sharded cells as [scheme, trace, shards] triples.
 _CONFIG_OPTIONAL_FIELDS = {
     "pipeline_cells": list,
+    "shard_cells": list,
 }
 
 _CELL_FIELDS = {
@@ -81,10 +83,12 @@ _ERROR_CELL_FIELDS = {
     "error": str,
 }
 
-# Optional cell field: a pipelined cell carries the depth it ran at
-# (depth-1 cells omit it, keeping historical reports byte-identical).
+# Optional cell fields: a pipelined cell carries the depth it ran at
+# and a sharded cell the fleet width (serial cells omit both, keeping
+# historical reports byte-identical).
 _CELL_OPTIONAL_FIELDS = {
     "pipeline_depth": int,
+    "shards": int,
 }
 
 _SIM_FIELDS = {
@@ -172,15 +176,16 @@ def validate_report(doc: Any) -> List[str]:
             wall = cell.get("wall_s")
             if isinstance(wall, (int, float)) and wall <= 0:
                 errors.append(f"{where}: wall_s must be positive, got {wall}")
-        depth = cell.get("pipeline_depth")
-        if depth is not None and (
-            isinstance(depth, bool) or not isinstance(depth, int) or depth < 1
-        ):
-            errors.append(
-                f"{where}: pipeline_depth must be an int >= 1, got {depth!r}"
-            )
+        for field in ("pipeline_depth", "shards"):
+            val = cell.get(field)
+            if val is not None and (
+                isinstance(val, bool) or not isinstance(val, int) or val < 1
+            ):
+                errors.append(
+                    f"{where}: {field} must be an int >= 1, got {val!r}"
+                )
         key = (cell.get("scheme"), cell.get("trace"),
-               cell.get("pipeline_depth", 1))
+               cell.get("pipeline_depth", 1), cell.get("shards", 1))
         if key in seen:
             errors.append(f"{where}: duplicate cell {key}")
         seen.add(key)
@@ -190,14 +195,18 @@ def validate_report(doc: Any) -> List[str]:
 def cell_key(cell: Dict[str, Any]) -> str:
     """Stable identity of one matrix cell.
 
-    Pipelined cells are distinct from their serial twin: the depth is
-    appended as ``@p<depth>`` (depth 1 / absent keeps the historical
-    two-part key).
+    Pipelined and sharded cells are distinct from their serial twin:
+    the depth is appended as ``@p<depth>`` and the fleet width as
+    ``@s<shards>`` (depth 1 / absent keeps the historical two-part
+    key).
     """
     key = f"{cell['scheme']}/{cell['trace']}"
     depth = cell.get("pipeline_depth", 1)
     if depth > 1:
         key += f"@p{depth}"
+    shards = cell.get("shards", 1)
+    if shards > 1:
+        key += f"@s{shards}"
     return key
 
 

@@ -28,10 +28,17 @@ The serving layer turns the single-caller
   degraded-mode serving (stash-resident reads + a write journal) while
   quarantined buckets rebuild;
 - :mod:`repro.serve.chaos` -- the ``BENCH_chaos.json`` campaign: fault
-  injection under live load, gated on availability and detection.
+  injection under live load, gated on availability and detection;
+- :mod:`repro.serve.scaling` -- the ``BENCH_scaling.json`` capacity
+  curve: one workload served by 1..16 AB-ORAM shards
+  (:mod:`repro.core.sharding`), gated on fleet speedup, drill
+  availability, and control-plane health.
 """
 
 from repro.serve.chaos import ChaosCell, ChaosConfig, run_chaos
+from repro.serve.scaling import (
+    ScalingCell, ScalingConfig, run_scaling, scaling_check,
+)
 from repro.serve.loadgen import WorkloadConfig, generate_requests, key_name, value_for
 from repro.serve.request import DELETE, GET, PUT, Completion, Request
 from repro.serve.resilience import (
@@ -53,9 +60,13 @@ __all__ = [
     "PUT",
     "Request",
     "ResilienceConfig",
+    "ScalingCell",
+    "ScalingConfig",
     "ServedStack",
     "WorkloadConfig",
     "build_stack",
+    "run_scaling",
+    "scaling_check",
     "generate_requests",
     "key_name",
     "preload_keys",

@@ -25,8 +25,9 @@ import json
 from typing import Any, Dict, List, Tuple
 
 from repro.serve.schema import (
-    CHAOS_REPORT_KIND, cell_key, chaos_cell_key,
-    validate_chaos_report, validate_report,
+    CHAOS_REPORT_KIND, SCALING_REPORT_KIND, cell_key, chaos_cell_key,
+    scaling_cell_key, validate_chaos_report, validate_report,
+    validate_scaling_report,
 )
 
 EXIT_OK = 0
@@ -66,6 +67,8 @@ def load_report(path: str) -> Tuple[Any, List[str]]:
         return None, [f"{path}: cannot load report: {exc}"]
     if isinstance(doc, dict) and doc.get("kind") == CHAOS_REPORT_KIND:
         problems = validate_chaos_report(doc)
+    elif isinstance(doc, dict) and doc.get("kind") == SCALING_REPORT_KIND:
+        problems = validate_scaling_report(doc)
     else:
         problems = validate_report(doc)
     return doc, [f"{path}: {e}" for e in problems]
@@ -245,6 +248,110 @@ def compare_chaos_reports(
     return exit_code, messages
 
 
+#: Scaling deterministic scalars diffed for the drift note (never gating).
+_SCALING_DRIFT_FIELDS = ("requests", "completions",)
+
+
+def compare_scaling_reports(
+    baseline: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    availability_drop_pp: float = DEFAULT_AVAILABILITY_DROP_PP,
+) -> Tuple[int, List[str]]:
+    """The capacity-curve regression gate.
+
+    Matched by ``name@sN``; gates on the fleet-level deterministic
+    metrics -- aggregate ns-per-request rising more than
+    ``threshold_pct`` percent, availability dropping more than
+    ``availability_drop_pp`` points, a fleet that was all-healthy no
+    longer ending so, or the analytic per-shard memory growing (a
+    capacity regression is as real as a throughput one).
+    """
+    messages: List[str] = []
+    base_cells = {scaling_cell_key(c): c for c in baseline["cells"]}
+    new_cells = {scaling_cell_key(c): c for c in new["cells"]}
+    exit_code = EXIT_OK
+
+    def regress(msg: str) -> None:
+        nonlocal exit_code
+        messages.append(msg)
+        if exit_code == EXIT_OK:
+            exit_code = EXIT_REGRESSION
+
+    for key, base in base_cells.items():
+        if key not in new_cells:
+            messages.append(f"ERROR {key}: cell missing from new report")
+            exit_code = EXIT_ERROR
+            continue
+        cur = new_cells[key]
+        if "error" in base:
+            messages.append(f"ERROR {key}: baseline cell is an error entry")
+            exit_code = EXIT_ERROR
+            continue
+        if "error" in cur:
+            first = str(cur["error"]).strip().splitlines()
+            messages.append(
+                f"ERROR {key}: cell errored in new report: "
+                f"{first[0] if first else 'cell failed'}"
+            )
+            exit_code = EXIT_ERROR
+            continue
+        base_fleet = base["sim"]["fleet"]
+        cur_fleet = cur["sim"]["fleet"]
+        old_ns = float(base_fleet["ns_per_request"])
+        new_ns = float(cur_fleet["ns_per_request"])
+        old_av = float(base_fleet["availability"])
+        new_av = float(cur_fleet["availability"])
+        av_pp = (new_av - old_av) * 100.0
+        drifted = [
+            k for k in _SCALING_DRIFT_FIELDS
+            if base_fleet.get(k) != cur_fleet.get(k)
+        ]
+        old_mem = base.get("memory", {}).get("per_shard_bytes", 0)
+        new_mem = cur.get("memory", {}).get("per_shard_bytes", 0)
+        if old_mem != new_mem:
+            drifted.append("per_shard_bytes")
+        note = f" (drift: {', '.join(drifted)})" if drifted else ""
+        line = (
+            f"{key}: {old_ns:.1f} -> {new_ns:.1f} ns/req aggregate "
+            f"({(new_ns - old_ns) / old_ns * 100.0 if old_ns > 0 else 0.0:+.1f}%), "
+            f"availability {old_av:.4f} -> {new_av:.4f} ({av_pp:+.2f}pp){note}"
+        )
+        if old_ns <= 0:
+            messages.append(f"ERROR {key}: degenerate baseline (ns/req {old_ns})")
+            exit_code = EXIT_ERROR
+            continue
+        if (new_ns - old_ns) / old_ns * 100.0 > threshold_pct:
+            regress(
+                f"REGRESSION {line} -- aggregate ns/req rise exceeds "
+                f"+{threshold_pct:g}%"
+            )
+            continue
+        if av_pp < -availability_drop_pp:
+            regress(
+                f"REGRESSION {line} -- availability drop exceeds "
+                f"-{availability_drop_pp:g}pp"
+            )
+            continue
+        if (
+            base["sim"]["control"].get("all_healthy", False)
+            and not cur["sim"]["control"].get("all_healthy", False)
+        ):
+            regress(f"REGRESSION {key}: fleet no longer ends all-healthy")
+            continue
+        if new_mem > old_mem:
+            regress(
+                f"REGRESSION {key}: per-shard memory grew "
+                f"{old_mem} -> {new_mem} bytes"
+            )
+            continue
+        messages.append(f"OK {line}")
+    for key in new_cells:
+        if key not in base_cells:
+            messages.append(f"NEW {key}: no baseline entry (curve grew)")
+    return exit_code, messages
+
+
 def compare_files(
     baseline_path: str,
     new_path: str,
@@ -269,4 +376,6 @@ def compare_files(
         ]
     if base_kind == CHAOS_REPORT_KIND:
         return compare_chaos_reports(base, new, threshold_pct)
+    if base_kind == SCALING_REPORT_KIND:
+        return compare_scaling_reports(base, new, threshold_pct)
     return compare_reports(base, new, threshold_pct)

@@ -5,7 +5,50 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from repro.analysis.report import render_mapping_table
-from repro.serve.schema import cell_key, chaos_cell_key
+from repro.serve.schema import cell_key, chaos_cell_key, scaling_cell_key
+
+
+def render_scaling_report(doc: Dict[str, Any]) -> str:
+    """Text table of one capacity curve's cells."""
+    cfg = doc["config"]
+    rows = []
+    errored = []
+    for cell in doc["cells"]:
+        if "error" in cell:
+            errored.append(cell)
+            continue
+        fleet = cell["sim"]["fleet"]
+        memory = cell["memory"]
+        rows.append({
+            "cell": scaling_cell_key(cell),
+            "blocks": cell["total_blocks"],
+            "ns_per_req": fleet["ns_per_request"],
+            "req_per_s_sim": fleet["requests_per_s_sim"],
+            "avail": fleet["availability"],
+            "p99_us": fleet["latency_ns"]["p99"] / 1000.0,
+            "shard_MiB": memory["per_shard_bytes"] / 2 ** 20,
+            "fleet_MiB": memory["fleet_bytes"] / 2 ** 20,
+            "healthy": cell["sim"]["control"]["all_healthy"],
+            "drill": cell["drill"],
+        })
+    flavor = "smoke" if cfg.get("smoke") else "full"
+    title = (
+        f"capacity curve ({flavor}): {cfg['scheme']} "
+        f"measured L={cfg['measured_levels']} max_batch={cfg['max_batch']} "
+        f"seed={cfg['seed']}"
+    )
+    lines = []
+    if rows:
+        lines.append(render_mapping_table(rows, title=title))
+    else:
+        lines.append(f"{title}\n(no completed cells)")
+    for cell in errored:
+        first = str(cell["error"]).strip().splitlines()
+        lines.append(
+            f"ERROR {scaling_cell_key(cell)}: "
+            f"{first[0] if first else 'cell failed'}"
+        )
+    return "\n".join(lines)
 
 
 def render_chaos_report(doc: Dict[str, Any]) -> str:

@@ -52,6 +52,7 @@ from typing import Any, Dict, List
 SCHEMA_VERSION = 1
 REPORT_KIND = "repro-serve-report"
 CHAOS_REPORT_KIND = "repro-chaos-report"
+SCALING_REPORT_KIND = "repro-scaling-report"
 
 _CONFIG_FIELDS = {
     "scheme": str,
@@ -322,9 +323,173 @@ def validate_chaos_report(doc: Any) -> List[str]:
     return errors
 
 
+_SCALING_CONFIG_FIELDS = {
+    "scheme": str,
+    "measured_levels": int,
+    "seed": int,
+    "max_batch": int,
+    "policy": str,
+    "min_speedup": (int, float),
+    "heartbeat_ns": (int, float),
+    "miss_after": int,
+    "cells": list,
+    "smoke": bool,
+}
+
+_SCALING_CELL_FIELDS = {
+    "name": str,
+    "shards": int,
+    "total_blocks": int,
+    "drill": bool,
+    "wall_s": (int, float),
+    "memory": dict,
+    "sim": dict,
+}
+
+_SCALING_ERROR_CELL_FIELDS = {
+    "name": str,
+    "shards": int,
+    "error": str,
+}
+
+_SCALING_MEMORY_FIELDS = {
+    "per_shard_capacity": int,
+    "shard_levels": int,
+    "per_shard_bytes": int,
+    "fleet_bytes": int,
+    "single_tree_levels": int,
+    "single_tree_bytes": int,
+}
+
+_SCALING_FLEET_FIELDS = {
+    "requests": int,
+    "completions": int,
+    "status": dict,
+    "availability": (int, float),
+    "makespan_ns": (int, float),
+    "ns_per_request": (int, float),
+    "requests_per_s_sim": (int, float),
+    "latency_ns": dict,
+}
+
+
+def validate_scaling_report(doc: Any) -> List[str]:
+    """Validate a parsed scaling report; returns problems (empty = ok).
+
+    Beyond field shapes: the per-shard detail blocks and the control
+    summary must cover exactly ``shards`` entries, fleet availability
+    must lie in [0, 1], and the memory block's fleet total must equal
+    shards times the per-shard bytes.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"report root is {type(doc).__name__}, expected object"]
+    if doc.get("kind") != SCALING_REPORT_KIND:
+        errors.append(
+            f"kind is {doc.get('kind')!r}, expected {SCALING_REPORT_KIND!r}"
+        )
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version is {doc.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        errors.append("config: missing or not an object")
+    else:
+        _check_fields(config, _SCALING_CONFIG_FIELDS, "config", errors)
+    if not isinstance(doc.get("environment"), dict):
+        errors.append("environment: missing or not an object")
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append("cells: missing, not a list, or empty")
+        return errors
+    seen = set()
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if "error" in cell:
+            _check_fields(cell, _SCALING_ERROR_CELL_FIELDS, where, errors)
+        else:
+            _check_fields(cell, _SCALING_CELL_FIELDS, where, errors)
+            memory = cell.get("memory")
+            if isinstance(memory, dict):
+                _check_fields(
+                    memory, _SCALING_MEMORY_FIELDS, f"{where}.memory", errors
+                )
+                if (
+                    isinstance(memory.get("per_shard_bytes"), int)
+                    and isinstance(memory.get("fleet_bytes"), int)
+                    and isinstance(cell.get("shards"), int)
+                    and memory["fleet_bytes"]
+                    != memory["per_shard_bytes"] * cell["shards"]
+                ):
+                    errors.append(
+                        f"{where}.memory: fleet_bytes is not "
+                        f"shards * per_shard_bytes"
+                    )
+            sim = cell.get("sim")
+            if isinstance(sim, dict):
+                fleet = sim.get("fleet")
+                if not isinstance(fleet, dict):
+                    errors.append(f"{where}.sim.fleet: missing or not object")
+                else:
+                    _check_fields(
+                        fleet, _SCALING_FLEET_FIELDS,
+                        f"{where}.sim.fleet", errors,
+                    )
+                    _check_percentiles(
+                        fleet.get("latency_ns"),
+                        f"{where}.sim.fleet.latency_ns", errors,
+                    )
+                    avail = fleet.get("availability")
+                    if (
+                        isinstance(avail, (int, float))
+                        and not isinstance(avail, bool)
+                        and not 0.0 <= avail <= 1.0
+                    ):
+                        errors.append(
+                            f"{where}.sim.fleet: availability {avail} "
+                            f"outside [0, 1]"
+                        )
+                shards = sim.get("shards")
+                if not isinstance(shards, list):
+                    errors.append(f"{where}.sim.shards: missing or not list")
+                elif (
+                    isinstance(cell.get("shards"), int)
+                    and len(shards) != cell["shards"]
+                ):
+                    errors.append(
+                        f"{where}.sim.shards: {len(shards)} entries for "
+                        f"{cell['shards']} shards"
+                    )
+                control = sim.get("control")
+                if not isinstance(control, dict):
+                    errors.append(f"{where}.sim.control: missing or not object")
+                elif not isinstance(control.get("all_healthy"), bool):
+                    errors.append(
+                        f"{where}.sim.control: missing boolean all_healthy"
+                    )
+            wall = cell.get("wall_s")
+            if isinstance(wall, (int, float)) and wall <= 0:
+                errors.append(f"{where}: wall_s must be positive, got {wall}")
+        key = (cell.get("name"), cell.get("shards"))
+        if key in seen:
+            errors.append(f"{where}: duplicate cell {key}")
+        seen.add(key)
+    return errors
+
+
 def cell_key(cell: Dict[str, Any]) -> str:
     """Stable identity of one matrix cell."""
     return f"{cell['workload']}/{cell['policy']}"
+
+
+def scaling_cell_key(cell: Dict[str, Any]) -> str:
+    """Stable identity of one capacity-curve cell."""
+    return f"{cell['name']}@s{cell['shards']}"
 
 
 def chaos_cell_key(cell: Dict[str, Any]) -> str:

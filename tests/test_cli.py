@@ -235,6 +235,8 @@ class TestTelemetryCli:
                    "--telemetry", "--out", out_path])
         assert rc == 0
         doc = json.loads(open(out_path).read())
-        assert doc["telemetry"]["counters"]["perf.cells"] == 1
+        # ab/mcf plus its sharded twin ab/mcf@s4 (the smoke matrix's
+        # tracked shard cell survives the --schemes narrowing).
+        assert doc["telemetry"]["counters"]["perf.cells"] == 2
         # The config block stays telemetry-free (baseline stability).
         assert "telemetry" not in doc["config"]

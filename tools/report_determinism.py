@@ -6,10 +6,17 @@ functions of the config -- byte-identical across repeat runs and any
 ``--workers`` width. CI enforces that promise by running a harness
 twice (e.g. serial and ``--workers 2``) and feeding both artifacts to
 this checker, which strips the host-dependent fields and compares the
-canonical JSON encodings byte for byte. Serve/chaos reports reduce via
+canonical JSON encodings byte for byte. Dispatch is by the report's
+``kind``: serve, chaos and scaling reports
+(``repro-serve-report`` / ``repro-chaos-report`` /
+``repro-scaling-report`` -- the last is the fleet capacity curve,
+whose per-shard ``sim`` blocks must agree byte-for-byte between a
+serial run and a ``--workers N`` fleet) reduce via
 :func:`repro.serve.schema.deterministic_view`; perf-matrix reports
 (``"kind": "repro-perf-report"``, including their pipelined ``@pN``
-cells) via :func:`repro.perf.schema.deterministic_view`.
+and sharded ``@sN`` cells) via
+:func:`repro.perf.schema.deterministic_view`. An unrecognized kind is
+an error, not a silent pass.
 
 Usage: ``python tools/report_determinism.py A.json B.json`` -- exits
 non-zero with the first differing path when the reports diverge.
@@ -57,14 +64,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
     a, b = docs
     from repro.perf.schema import REPORT_KIND as PERF_KIND
+    from repro.serve.schema import (
+        CHAOS_REPORT_KIND, REPORT_KIND as SERVE_KIND, SCALING_REPORT_KIND,
+    )
     if a.get("kind") != b.get("kind"):
         print(f"report kinds differ: {a.get('kind')!r} vs {b.get('kind')!r}",
               file=sys.stderr)
         return 1
-    if a.get("kind") == PERF_KIND:
+    kind = a.get("kind")
+    if kind == PERF_KIND:
         from repro.perf.schema import deterministic_bytes, deterministic_view
-    else:
+    elif kind in (SERVE_KIND, CHAOS_REPORT_KIND, SCALING_REPORT_KIND):
         from repro.serve.schema import deterministic_bytes, deterministic_view
+    else:
+        print(f"unrecognized report kind {kind!r}; cannot reduce to a "
+              f"deterministic view", file=sys.stderr)
+        return 2
     if deterministic_bytes(a) == deterministic_bytes(b):
         print(f"deterministic views identical: {args.reports[0]} == "
               f"{args.reports[1]}")
