@@ -9,7 +9,7 @@ export PYTHONPATH := src:$(PYTHONPATH)
 
 .PHONY: install test bench bench-full figures examples lint perf-smoke \
 	pipeline-smoke faults-smoke telemetry-smoke serve-smoke chaos-smoke \
-	shard-smoke ci clean
+	shard-smoke obs-smoke ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -155,10 +155,39 @@ shard-smoke:
 	  benchmarks/baselines/BENCH_scaling_smoke.json \
 	  generated/BENCH_scaling.json --warn-only
 
+# CI observability smoke: the chaos campaign as a 4-shard fleet with
+# the full observability plane on -- one merged Perfetto trace
+# (per-shard process tracks, router flow events, control/SLO
+# timelines), the streaming SLO JSONL and the ops stream the console
+# replays. Gates: the merged trace must pass the flow/process schema
+# checks; a --workers 2 rerun must reproduce the deterministic report
+# view AND the trace file byte-for-byte; the recorded ops stream must
+# replay through `serve top`; and the observability plane must cost
+# <= 10% wall time on the serving loop.
+obs-smoke:
+	$(PYTHON) -m repro serve chaos --smoke --shards 4 \
+	  --out generated/BENCH_chaos_fleet.json \
+	  --trace-out generated/trace_fleet.json \
+	  --slo-out generated/slo_fleet.jsonl \
+	  --ops-out generated/ops_fleet.jsonl --require-detection
+	$(PYTHON) tools/check_trace.py generated/trace_fleet.json \
+	  --require-kinds route readPath queue get --min-spans 500 \
+	  --require-flows 200 \
+	  --require-process fleet-router shard-0 shard-1 shard-2 shard-3
+	$(PYTHON) -m repro serve chaos --smoke --shards 4 --workers 2 \
+	  --out generated/BENCH_chaos_fleet_w2.json \
+	  --trace-out generated/trace_fleet_w2.json
+	$(PYTHON) tools/report_determinism.py \
+	  generated/BENCH_chaos_fleet.json generated/BENCH_chaos_fleet_w2.json
+	cmp generated/trace_fleet.json generated/trace_fleet_w2.json
+	$(PYTHON) -m repro serve top --replay generated/ops_fleet.jsonl \
+	  --frames 3 --no-clear
+	$(PYTHON) tools/telemetry_overhead.py --serve --max-overhead-pct 10
+
 # Mirror of the CI pipeline: lint, tier-1 tests, perf/pipeline/faults/
-# telemetry/serve/chaos/shard smoke.
+# telemetry/serve/chaos/shard/observability smoke.
 ci: lint test perf-smoke pipeline-smoke faults-smoke telemetry-smoke \
-	serve-smoke chaos-smoke shard-smoke
+	serve-smoke chaos-smoke shard-smoke obs-smoke
 
 # Removes only regenerated artifacts. Committed reference outputs
 # (benchmarks/out/, benchmarks/baselines/, BENCH_perf.json) survive.

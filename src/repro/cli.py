@@ -631,8 +631,18 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
         overrides["max_batch"] = args.max_batch
     if args.trace_out is not None:
         overrides["trace_out"] = args.trace_out
+    if args.shards is not None:
+        overrides["num_shards"] = args.shards
+    if args.slo_out is not None:
+        overrides["slo_out"] = args.slo_out
+    if args.ops_out is not None:
+        overrides["ops_out"] = args.ops_out
     cfg = factory(progress=stderr_progress, workers=args.workers,
                   **overrides)
+    if cfg.num_shards <= 1 and (cfg.slo_out or cfg.ops_out):
+        print("error: --slo-out/--ops-out require --shards > 1",
+              file=sys.stderr)
+        return 2
     doc = run_chaos(cfg)
     errors = validate_chaos_report(doc)
     if errors:
@@ -647,6 +657,10 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     print(f"\nwrote {args.out}")
     if args.trace_out:
         print(f"wrote {args.trace_out}")
+    if args.slo_out:
+        print(f"wrote {args.slo_out}")
+    if args.ops_out:
+        print(f"wrote {args.ops_out}")
     if args.require_detection:
         problems = chaos_check(doc)
         if problems:
@@ -655,6 +669,31 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
             return 1
         print("chaos check: availability floors held, all tampering "
               "faults detected under live load")
+    return 0
+
+
+def cmd_serve_top(args: argparse.Namespace) -> int:
+    """The ops console: ``top(1)`` over a fleet ops stream."""
+    from repro.telemetry import run_console
+
+    path = args.replay
+    if path is None:
+        # Live mode: record a small sharded campaign, then play it.
+        from repro.serve.chaos import run_chaos, smoke_config
+
+        path = args.out
+        _ensure_out_dir(path)
+        cfg = smoke_config(
+            num_shards=args.shards, workers=args.workers,
+            ops_out=path, progress=stderr_progress,
+        )
+        run_chaos(cfg)
+        print(f"wrote {path}", file=sys.stderr)
+    frames = run_console(path, interval=args.interval,
+                         max_frames=args.frames, clear=not args.no_clear)
+    if frames == 0:
+        print(f"error: {path}: no renderable frames", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1026,12 +1065,47 @@ def build_parser() -> argparse.ArgumentParser:
     sx.add_argument("--trace-out", default=None, metavar="PATH",
                     help="write a Perfetto trace of the degraded-mode "
                          "cell: request lanes plus a resilience track "
-                         "with degraded windows and fault markers")
+                         "with degraded windows and fault markers (with "
+                         "--shards: one merged fleet trace with per-shard "
+                         "process tracks and router flow events)")
+    sx.add_argument("--shards", type=int, default=None, metavar="N",
+                    help="partition every cell over an N-shard fleet of "
+                         "independently seeded stacks; the report gains "
+                         "per-shard, control-plane and SLO blocks, all "
+                         "byte-identical at any worker count")
+    sx.add_argument("--slo-out", default=None, metavar="PATH",
+                    help="write the streaming SLO engine's slo_window/"
+                         "slo_alert records as JSONL (requires --shards)")
+    sx.add_argument("--ops-out", default=None, metavar="PATH",
+                    help="write the per-shard ops stream 'repro serve "
+                         "top --replay' renders (requires --shards)")
     sx.add_argument("--require-detection", action="store_true",
                     help="exit 1 unless every cell held its availability "
                          "floor and every injected tampering fault was "
                          "detected while serving -- the CI gate")
     sx.set_defaults(func=cmd_serve_chaos)
+
+    st = serve_sub.add_parser("top", help="live ops console: per-shard "
+                                          "health/queue/latency table over "
+                                          "a fleet ops stream")
+    st.add_argument("--replay", default=None, metavar="FILE",
+                    help="replay a recorded ops JSONL stream (written by "
+                         "'serve chaos --shards N --ops-out FILE'); the "
+                         "rendered frames are deterministic")
+    st.add_argument("--out", default="generated/ops_stream.jsonl",
+                    help="live mode: where the recorded stream lands "
+                         "(default: generated/ops_stream.jsonl)")
+    st.add_argument("--shards", type=int, default=4,
+                    help="live mode: fleet width of the recorded campaign")
+    st.add_argument("--workers", type=int, default=1,
+                    help="live mode: process-pool width")
+    st.add_argument("--frames", type=int, default=None,
+                    help="render at most N frames")
+    st.add_argument("--interval", type=float, default=0.0, metavar="SECONDS",
+                    help="pause between frames (0 prints them all at once)")
+    st.add_argument("--no-clear", action="store_true",
+                    help="never clear the screen between frames")
+    st.set_defaults(func=cmd_serve_top)
 
     ss = serve_sub.add_parser("scaling", help="capacity curve over 1..N "
                                               "shard AB-ORAM fleets")

@@ -186,6 +186,38 @@ class ControlPlane:
         }
 
 
+def control_metrics(summary: Dict[str, Any], registry: Any) -> Any:
+    """Fold a control summary into a metrics registry.
+
+    The observability bridge for health transitions: every ``from ->
+    to`` edge becomes a ``control.transitions.<from>_to_<to>`` counter,
+    each shard's terminal state a ``control.shard.<k>.state`` gauge
+    (indexed into :data:`STATES`, so dashboards can threshold on it),
+    plus fleet-level ``control.all_healthy`` / ``control.completed`` /
+    ``control.deaths``. ``registry`` is a
+    :class:`~repro.telemetry.metrics.MetricsRegistry`; passed in rather
+    than imported so the control plane stays telemetry-agnostic.
+    """
+    registry.gauge("control.all_healthy").set(
+        1.0 if summary.get("all_healthy") else 0.0
+    )
+    registry.gauge("control.shards").set(float(len(summary.get("shards", []))))
+    for entry in summary.get("shards", []):
+        shard = entry["shard"]
+        registry.gauge(f"control.shard.{shard}.state").set(
+            float(STATES.index(entry["state"]))
+        )
+        if entry.get("completed"):
+            registry.counter("control.completed").inc()
+        for t in entry.get("transitions", []):
+            registry.counter(
+                f"control.transitions.{t['from']}_to_{t['to']}"
+            ).inc()
+            if t["to"] == DEAD:
+                registry.counter("control.deaths").inc()
+    return registry
+
+
 def heartbeat_events(
     shard: int, start_ns: float, end_ns: float, heartbeat_ns: float
 ) -> List[ShardEvent]:

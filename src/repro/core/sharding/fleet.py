@@ -47,7 +47,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.sharding.control import ControlPlane, ShardEvent, heartbeat_events
+from repro.core.sharding.control import (
+    ControlPlane, ShardEvent, control_metrics, heartbeat_events,
+)
 from repro.core.sharding.partition import PartitionMap
 from repro.faults.plan import FaultPlan
 from repro.oram.recovery import RobustnessConfig
@@ -467,8 +469,12 @@ def run_fleet(cfg: FleetConfig) -> Dict[str, Any]:
     }
     if failed:
         doc["error"] = "one or more shards failed"
-    if snapshots:
-        doc["metrics"] = merge_snapshots(snapshots)
+    # The control plane's health story rides along as metrics: shard
+    # telemetry snapshots (when any) merged with the transition
+    # counters and state gauges derived from the summary above.
+    from repro.telemetry.metrics import MetricsRegistry
+    registry = control_metrics(doc["control"], MetricsRegistry())
+    doc["metrics"] = merge_snapshots(snapshots + [registry.snapshot()])
     return doc
 
 

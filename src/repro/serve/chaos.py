@@ -33,9 +33,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.sharding.control import ControlPlane, ShardEvent, heartbeat_events
+from repro.core.sharding.partition import PartitionMap
 from repro.faults.plan import FAULT_KINDS, FaultPlan
 from repro.oram.recovery import RobustnessConfig
-from repro.parallel.executor import Cell, report_progress, run_cells
+from repro.parallel.executor import Cell, derive_seed, report_progress, run_cells
 from repro.serve.bench import _environment, _percentiles
 from repro.serve.loadgen import (
     WorkloadConfig, generate_requests, initial_items,
@@ -105,6 +107,21 @@ class ChaosConfig:
     progress: Any = None   # callable(str) for live cell updates
     trace_out: Optional[str] = None
     trace_cell: Optional[str] = None
+    #: ``num_shards > 1`` runs every cell as a partitioned fleet: the
+    #: workload is split by the keyed-PRF partition map, each shard
+    #: serves its slice on an independent seeded stack (with a
+    #: per-shard derived fault plan), and the parent folds the shard
+    #: results, drives the control plane, evaluates SLOs and merges
+    #: the distributed trace. ``num_shards == 1`` is the exact PR-7
+    #: single-stack path.
+    num_shards: int = 1
+    heartbeat_ns: float = 100_000.0
+    #: Simulated window the SLO engine and ops sampler fold on.
+    slo_window_ns: float = 50_000.0
+    #: JSONL output paths (sharded campaigns only): the SLO event
+    #: stream and the per-shard ops stream ``serve top`` replays.
+    slo_out: Optional[str] = None
+    ops_out: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -115,6 +132,9 @@ class ChaosConfig:
             "robustness": self.robustness.to_dict(),
             "cells": [c.to_dict() for c in self.cells],
             "smoke": self.smoke,
+            "num_shards": self.num_shards,
+            "heartbeat_ns": self.heartbeat_ns,
+            "slo_window_ns": self.slo_window_ns,
         }
 
 
@@ -336,12 +356,322 @@ def _chaos_cell_task(payload: Tuple[ChaosConfig, ChaosCell]) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------- sharded runner
+
+def _cell_slo_rules(cell: ChaosCell) -> Tuple[Any, ...]:
+    """Derive a cell's SLO rule set from its CI gate fields."""
+    from repro.telemetry import default_slo_rules
+    deadline = cell.resilience.deadline_ns
+    return default_slo_rules(
+        min_availability=cell.min_availability,
+        p99_ns=deadline if deadline > 0 else 2_000_000.0,
+        detection=cell.expect_faults,
+    )
+
+
+def _sum_tree(blocks: Sequence[Any]) -> Any:
+    """Element-wise sum of parallel dict-of-numbers trees."""
+    if isinstance(blocks[0], dict):
+        return {k: _sum_tree([b[k] for b in blocks]) for k in blocks[0]}
+    return sum(blocks)
+
+
+def _chaos_shard_task(
+    payload: Tuple[ChaosConfig, ChaosCell, int],
+) -> Dict[str, Any]:
+    """One shard of one campaign cell, runnable in a spawn worker.
+
+    The shard serves exactly the keys the fleet-wide keyed-PRF
+    partition map assigns it, on an independently seeded stack with an
+    independently seeded fault plan -- the same discipline the sharded
+    simulator uses, so the split never depends on which process runs it.
+    """
+    cfg, cell, shard = payload
+    report_progress(f"chaos {cell.name}/s{shard} ...")
+    pmap = PartitionMap(cfg.num_shards, seed=cfg.seed)
+    stack_seed = derive_seed(cfg.seed, f"shard:{shard}")
+    faults = cell.faults
+    if faults is not None:
+        faults = replace(
+            faults, seed=derive_seed(faults.seed, f"shard:{shard}"),
+        )
+    want_trace = cfg.trace_out is not None and cfg.trace_cell == cell.name
+    telemetry = None
+    if want_trace:
+        from repro.telemetry import Telemetry
+        telemetry = Telemetry(meta={
+            "cell": cell.name, "shard": shard, "scheme": cfg.scheme,
+            "levels": cfg.levels, "seed": cfg.seed,
+        })
+    stack = build_stack(
+        scheme=cfg.scheme, levels=cfg.levels, seed=stack_seed,
+        telemetry=telemetry, observer=True,
+        robustness=cfg.robustness, fault_plan=faults,
+    )
+    kv = stack.kv
+    for key, value in initial_items(cell.workload):
+        if pmap.shard_of_bytes(key) == shard:
+            kv.put(key, value)
+    stack.arm_faults()
+    t0 = stack.dram_sink.now
+    requests = [
+        replace(r, arrival_ns=r.arrival_ns + t0)
+        for r in generate_requests(cell.workload)
+        if pmap.shard_of_bytes(r.key) == shard
+    ]
+    scheduler = BatchScheduler(
+        kv, policy="batch", seed=stack_seed,
+        clock=lambda: stack.dram_sink.now,
+    )
+    sampler = None
+    if cfg.ops_out is not None:
+        from repro.telemetry import OpsSampler
+        sampler = OpsSampler(cell.name, shard, cfg.slo_window_ns, stack)
+    result = resilient_replay(
+        stack, requests, scheduler, cell.resilience,
+        max_batch=cfg.max_batch, sampler=sampler,
+    )
+    comps = result.completions
+    served = [c for c in comps if c.status == OK]
+    status = result.status_counts()
+    stats = scheduler.stats()
+    partial: Dict[str, Any] = {
+        "shard": shard,
+        "requests": len(requests),
+        "completions": len(comps),
+        "status": {s: status.get(s, 0) for s in STATUSES},
+        "availability": (
+            status.get(OK, 0) / len(comps) if comps else 0.0
+        ),
+        "accesses_issued": stats["accesses_issued"],
+        "dedup_hits": stats["dedup_hits"],
+        "coalesced_puts": stats["coalesced_puts"],
+        "absent_gets": stats["absent_gets"],
+        "scheduler_timeouts": stats["timeouts"],
+        "degraded_reads": result.degraded_reads,
+        "journal": {
+            "appends": result.journal_appends,
+            "replayed": result.journal_replayed,
+            "sheds": result.journal_sheds,
+        },
+        "retries": result.retries,
+        "episodes": len(result.episodes),
+        "robust": {
+            "counters": kv.oram.robust.to_dict(),
+            "backoff_stalled_ns": stack.dram_sink.dram.stats.stalled_ns,
+        },
+        "start_ns": result.start_ns,
+        "end_ns": result.end_ns,
+    }
+    if stack.faulty is not None:
+        partial["faults"] = stack.faulty.summary()
+    return {
+        "partial": partial,
+        "episode_list": list(result.episodes),
+        "latencies": [c.latency_ns for c in served],
+        "completions": comps,
+        "spans": list(telemetry.spans) if want_trace else None,
+        "events": list(result.events) if want_trace else None,
+        "ops_records": list(sampler.records) if sampler is not None else [],
+        "wall_s": result.wall_s,
+    }
+
+
+def _merge_shard_cell(
+    cfg: ChaosConfig,
+    cell: ChaosCell,
+    outputs: Sequence[Dict[str, Any]],
+) -> Tuple[Dict[str, Any], Any]:
+    """Fold one cell's shard outputs into a report cell + SLO engine.
+
+    Counts sum; latency percentiles re-derive from the concatenated
+    per-shard served latencies (shard order, so the fold is a pure
+    function of the outputs); the control plane replays every shard's
+    heartbeat train and degraded markers on one merged timeline; the
+    SLO engine folds the fleet's completion stream in ``(done_ns,
+    rid)`` order. Everything the ``sim`` block carries is derived from
+    worker-returned simulated state only -- byte-identical at any
+    worker count.
+    """
+    from repro.telemetry import SloEngine, fold_completions
+
+    outputs = sorted(outputs, key=lambda o: o["partial"]["shard"])
+    partials = [o["partial"] for o in outputs]
+    episodes = [e for o in outputs for e in o["episode_list"]]
+    latencies = [lat for o in outputs for lat in o["latencies"]]
+    n_requests = sum(p["requests"] for p in partials)
+    n_comps = sum(p["completions"] for p in partials)
+    status = {
+        s: sum(p["status"][s] for p in partials) for s in STATUSES
+    }
+    start_ns = min(p["start_ns"] for p in partials)
+    end_ns = max(p["end_ns"] for p in partials)
+    sim_ns = end_ns - start_ns
+    sim_s = sim_ns / 1e9
+    sim: Dict[str, Any] = {
+        "requests": n_requests,
+        "completions": n_comps,
+        "status": status,
+        "availability": status.get(OK, 0) / n_comps if n_comps else 0.0,
+        "accesses_issued": sum(p["accesses_issued"] for p in partials),
+        "dedup_hits": sum(p["dedup_hits"] for p in partials),
+        "coalesced_puts": sum(p["coalesced_puts"] for p in partials),
+        "absent_gets": sum(p["absent_gets"] for p in partials),
+        "scheduler_timeouts": sum(
+            p["scheduler_timeouts"] for p in partials
+        ),
+        "degraded_reads": sum(p["degraded_reads"] for p in partials),
+        "journal": _sum_tree([p["journal"] for p in partials]),
+        "retries": sum(p["retries"] for p in partials),
+        "episodes": _episode_block(episodes),
+        "sim_ns": sim_ns,
+        "requests_per_s_sim": n_comps / sim_s if sim_s > 0 else 0.0,
+        "latency_ns": _percentiles(latencies),
+        "robust": _sum_tree([p["robust"] for p in partials]),
+        "shards": partials,
+    }
+    if any("faults" in p for p in partials):
+        faults = _sum_tree([p["faults"] for p in partials if "faults" in p])
+        sim["faults"] = faults
+        sim["detection"] = _detection_block(faults)
+    # Control plane: every shard's deterministic heartbeat train plus
+    # its degraded-episode markers, merged into one fleet timeline.
+    plane_events: List[ShardEvent] = []
+    for o in outputs:
+        p = o["partial"]
+        plane_events.extend(heartbeat_events(
+            p["shard"], p["start_ns"], p["end_ns"], cfg.heartbeat_ns,
+        ))
+        for e in o["episode_list"]:
+            plane_events.append(ShardEvent(
+                p["shard"], "degraded_enter", e["enter_ns"],
+            ))
+            plane_events.append(ShardEvent(
+                p["shard"], "degraded_exit", e["exit_ns"],
+            ))
+    control = ControlPlane(cfg.heartbeat_ns, miss_after=3)
+    control.run(plane_events)
+    sim["control"] = control.summary()
+    engine = SloEngine(_cell_slo_rules(cell), cfg.slo_window_ns)
+    fold_completions(
+        engine, [c for o in outputs for c in o["completions"]],
+    )
+    sim["slo"] = engine.finish(end_ns, detection=sim.get("detection"))
+    wall_s = sum(o["wall_s"] for o in outputs)
+    return {
+        "name": cell.name,
+        "wall_s": wall_s,
+        "requests_per_s_wall": n_comps / wall_s if wall_s > 0 else 0.0,
+        "sim": sim,
+    }, engine
+
+
+def _write_jsonl(path: str, records: Sequence[Dict[str, Any]]) -> None:
+    import json
+    with open(path, "w") as f:
+        for record in records:
+            f.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def _run_chaos_sharded(cfg: ChaosConfig) -> Dict[str, Any]:
+    """The fleet campaign: every cell partitioned over ``num_shards``."""
+    from repro.telemetry import ShardFragment, fleet_trace_doc
+    from repro.telemetry.fleet import SLO_TID
+
+    worker_cfg = replace(cfg, progress=None, workers=1)
+    tasks = [
+        Cell(f"{c.name}/s{k}", (worker_cfg, c, k))
+        for c in cfg.cells for k in range(cfg.num_shards)
+    ]
+    outputs = run_cells(
+        _chaos_shard_task, tasks,
+        workers=cfg.workers, progress=cfg.progress,
+    )
+    cells: List[Dict[str, Any]] = []
+    slo_stream: List[Dict[str, Any]] = [{
+        "type": "meta", "kind": "repro-slo-stream",
+        "schema_version": SCHEMA_VERSION, "seed": cfg.seed,
+        "num_shards": cfg.num_shards, "window_ns": cfg.slo_window_ns,
+    }]
+    ops_stream: List[Dict[str, Any]] = [{
+        "type": "meta", "kind": "repro-ops-stream",
+        "schema_version": SCHEMA_VERSION, "seed": cfg.seed,
+        "num_shards": cfg.num_shards, "window_ns": cfg.slo_window_ns,
+    }]
+    slo_summaries: Dict[str, Any] = {}
+    for i, cell in enumerate(cfg.cells):
+        chunk = outputs[i * cfg.num_shards:(i + 1) * cfg.num_shards]
+        errors = [res.error for res in chunk if not res.ok]
+        if errors:
+            cells.append({"name": cell.name, "error": errors[0]})
+            continue
+        shard_outputs = [res.value for res in chunk]
+        merged, engine = _merge_shard_cell(cfg, cell, shard_outputs)
+        cells.append(merged)
+        alerts = [
+            {**r, "cell": cell.name} for r in engine.records
+            if r["type"] == "slo_alert"
+        ]
+        slo_stream.extend(
+            {**r, "cell": cell.name} for r in engine.records
+        )
+        slo_summaries[cell.name] = merged["sim"]["slo"]
+        snapshots = [
+            snap for o in shard_outputs for snap in o["ops_records"]
+        ]
+        snapshots.sort(key=lambda s: (s["window"], s["shard"]))
+        ops_stream.extend(snapshots)
+        ops_stream.extend(alerts)
+        if cfg.trace_out is not None and cfg.trace_cell == cell.name:
+            fragments = [
+                ShardFragment(
+                    shard=o["partial"]["shard"],
+                    completions=o["completions"],
+                    spans=o["spans"] or [],
+                    events=o["events"] or [],
+                    start_ns=o["partial"]["start_ns"],
+                    end_ns=o["partial"]["end_ns"],
+                )
+                for o in shard_outputs
+            ]
+            doc = fleet_trace_doc(
+                fragments, seed=cfg.seed,
+                meta={
+                    "cell": cell.name, "scheme": cfg.scheme,
+                    "levels": cfg.levels, "seed": cfg.seed,
+                    "num_shards": cfg.num_shards,
+                },
+                control=merged["sim"]["control"],
+                slo_instants=engine.trace_instants(SLO_TID),
+            )
+            write_trace(doc, cfg.trace_out)
+    slo_stream.append({"type": "summary", "cells": slo_summaries})
+    ops_stream.append({"type": "summary", "cells": slo_summaries})
+    if cfg.slo_out is not None:
+        _write_jsonl(cfg.slo_out, slo_stream)
+    if cfg.ops_out is not None:
+        _write_jsonl(cfg.ops_out, ops_stream)
+    return {
+        "kind": CHAOS_REPORT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "config": cfg.to_dict(),
+        "environment": _environment(),
+        "cells": cells,
+    }
+
+
 def run_chaos(cfg: Optional[ChaosConfig] = None) -> Dict[str, Any]:
     """Run the chaos campaign and return the report document.
 
     ``cfg.workers > 1`` fans the independent cells over a spawn pool;
     the ``sim`` blocks are byte-identical to a serial run. A cell whose
     worker raises becomes an ``{"name", "error"}`` entry.
+
+    ``cfg.num_shards > 1`` partitions every cell over a fleet of
+    independently seeded shard stacks (one spawn cell per shard), folds
+    the shard results through the control plane and the streaming SLO
+    engine, and -- for the traced cell -- merges every shard's spans
+    into one distributed Perfetto trace.
     """
     cfg = cfg or smoke_config()
     if not cfg.cells:
@@ -353,6 +683,8 @@ def run_chaos(cfg: Optional[ChaosConfig] = None) -> Dict[str, Any]:
             (c for c in cfg.cells if c.expect_episodes), cfg.cells[0]
         )
         cfg = replace(cfg, trace_cell=interesting.name)
+    if cfg.num_shards > 1:
+        return _run_chaos_sharded(cfg)
     worker_cfg = replace(cfg, progress=None, workers=1)
     outputs = run_cells(
         _chaos_cell_task,

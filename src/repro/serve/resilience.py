@@ -194,6 +194,7 @@ def resilient_replay(
     scheduler: BatchScheduler,
     rcfg: ResilienceConfig,
     max_batch: int = 32,
+    sampler: Optional[Any] = None,
 ) -> ChaosReplayResult:
     """Serve ``requests`` open-loop, surviving injected faults.
 
@@ -202,6 +203,10 @@ def resilient_replay(
     during which the store serves degraded. Deterministic in (workload
     seed, stack seed, config) -- every decision runs off the simulated
     clock.
+
+    ``sampler`` (an :class:`~repro.telemetry.console.OpsSampler`) is
+    probed once per scheduling round with the live queue/journal state;
+    it only reads, so attaching one changes nothing the loop decides.
     """
     if max_batch < 1:
         raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -337,6 +342,11 @@ def resilient_replay(
     wall0 = time.perf_counter()
     while True:
         now = sink.now
+        if sampler is not None:
+            sampler.sample(
+                now, len(queue), completions,
+                degraded_since is not None, len(journal),
+            )
         # ---- admit arrivals (bounded queue, shedding past the limit)
         while i < n and requests[i].arrival_ns <= now:
             req = requests[i]
@@ -438,6 +448,8 @@ def resilient_replay(
 
     result.end_ns = sink.now
     result.wall_s = time.perf_counter() - wall0
+    if sampler is not None:
+        sampler.finish(result.end_ns, completions)
     return result
 
 

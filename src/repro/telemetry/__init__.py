@@ -18,6 +18,21 @@ simulation leaves its RNG streams, DRAM timing and ``SimResult``
 bit-identical to a bare run.
 """
 
+from repro.telemetry.console import (
+    OpsSampler,
+    frames_from_stream,
+    render_frame,
+    render_replay,
+    run_console,
+)
+from repro.telemetry.fleet import (
+    ShardFragment,
+    TraceContext,
+    control_instants,
+    fleet_trace_doc,
+    mint_context,
+    mint_trace_id,
+)
 from repro.telemetry.handle import Telemetry
 from repro.telemetry.metrics import (
     Counter,
@@ -29,6 +44,7 @@ from repro.telemetry.metrics import (
     quantiles_from_snapshot,
 )
 from repro.telemetry.progress import quiet, stderr_progress
+from repro.telemetry.slo import SloEngine, SloRule, default_slo_rules, fold_completions
 from repro.telemetry.spans import TelemetryObserver, TracingSink, trace_event_doc
 from repro.telemetry.view import load_stream, render_stream
 
@@ -37,15 +53,30 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "OpsSampler",
+    "ShardFragment",
+    "SloEngine",
+    "SloRule",
     "Telemetry",
     "TelemetryObserver",
+    "TraceContext",
     "TracingSink",
+    "control_instants",
+    "default_slo_rules",
     "default_time_buckets",
+    "fleet_trace_doc",
+    "fold_completions",
+    "frames_from_stream",
     "load_stream",
     "merge_snapshots",
+    "mint_context",
+    "mint_trace_id",
     "quantiles_from_snapshot",
     "quiet",
+    "render_frame",
+    "render_replay",
     "render_stream",
+    "run_console",
     "stderr_progress",
     "trace_event_doc",
 ]

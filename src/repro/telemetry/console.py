@@ -1,0 +1,248 @@
+"""The live ops console: ``serve top`` over a recorded ops stream.
+
+Serving campaigns can record a per-shard *ops stream* -- one JSONL
+``snapshot`` record per (cell, shard, window) sampled on the simulated
+clock by :class:`OpsSampler` inside the resilient serving loop, plus
+the SLO engine's ``slo_window`` / ``slo_alert`` records. This module
+turns that stream into a periodically-refreshing terminal table: one
+row per shard showing health state, queue depth, stash occupancy,
+DeadQ depth, journal depth, throughput and p50/p99 -- the ``top(1)``
+view of an ORAM fleet.
+
+Because every record is stamped in simulated ns, a ``--replay`` render
+is deterministic: the same stream produces the same frames, byte for
+byte, which is how the CI smoke checks it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+import numpy as np
+
+from repro.analysis.report import render_mapping_table
+
+
+class OpsSampler:
+    """Sample one shard's serving state at window boundaries.
+
+    The resilient serving loop calls :meth:`sample` once per scheduling
+    round with its live state; the sampler emits one ``snapshot``
+    record per elapsed simulated window. Sampling only *reads* --
+    attaching a sampler never changes serving decisions, clocks or
+    results.
+    """
+
+    def __init__(
+        self, cell: str, shard: int, window_ns: float, stack: Any,
+    ) -> None:
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        self.cell = cell
+        self.shard = shard
+        self.window_ns = float(window_ns)
+        self._stack = stack
+        self.records: List[Dict[str, Any]] = []
+        self._win: Optional[int] = None
+        self._taken = 0        # completions pulled off the live list
+        self._attributed = 0   # completions folded into closed windows
+        self._carry: List[Any] = []   # seen, but done after the window
+        self._state: Dict[str, Any] = {}
+
+    def _oram_depths(self) -> Dict[str, int]:
+        oram = self._stack.kv.oram
+        deadq = 0
+        if oram.ext is not None:
+            deadq = sum(
+                len(q) for q in oram.ext.queues.queues.values()
+            )
+        return {
+            "stash_occupancy": int(oram.stash.occupancy),
+            "deadq_depth": int(deadq),
+        }
+
+    def _close(self, window: int, completions: Sequence[Any]) -> None:
+        # Attribute by completion stamp: a clock jump can close several
+        # windows at once, and each completion belongs to the window
+        # its ``done_ns`` falls in, not to the first one closed.
+        end_ns = (window + 1) * self.window_ns
+        pool = self._carry + list(completions[self._taken:])
+        self._taken = len(completions)
+        fresh = [c for c in pool if c.done_ns < end_ns]
+        self._carry = [c for c in pool if c.done_ns >= end_ns]
+        self._attributed += len(fresh)
+        served = [c.latency_ns for c in fresh if c.status == "ok"]
+        window_s = self.window_ns / 1e9
+        record = {
+            "type": "snapshot",
+            "cell": self.cell,
+            "shard": self.shard,
+            "window": window,
+            "ns": end_ns,
+            "requests": self._attributed,
+            "window_requests": len(fresh),
+            "window_ok": len(served),
+            "throughput_rps": len(fresh) / window_s,
+            "p50_ns": (
+                float(np.percentile(served, 50)) if served else 0.0
+            ),
+            "p99_ns": (
+                float(np.percentile(served, 99)) if served else 0.0
+            ),
+        }
+        record.update(self._state)
+        self.records.append(record)
+
+    def sample(
+        self,
+        now: float,
+        queue_depth: int,
+        completions: Sequence[Any],
+        degraded: bool,
+        journal_depth: int,
+    ) -> None:
+        idx = int(now // self.window_ns)
+        if self._win is None:
+            self._win = idx
+        while self._win < idx:
+            self._close(self._win, completions)
+            self._win += 1
+        self._state = {
+            "state": "degraded" if degraded else "ok",
+            "queue_depth": int(queue_depth),
+            "journal_depth": int(journal_depth),
+            **self._oram_depths(),
+        }
+
+    def finish(self, end_ns: float, completions: Sequence[Any]) -> None:
+        """Close every window up to and including the run's last."""
+        idx = int(end_ns // self.window_ns)
+        if self._win is None:
+            self._win = idx
+        while self._win < idx:
+            self._close(self._win, completions)
+            self._win += 1
+        self._close(self._win, completions)
+
+
+# ---------------------------------------------------------------- rendering
+
+def frames_from_stream(stream: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Group a loaded ops stream into renderable frames.
+
+    One frame per (cell, window) with per-shard rows plus any SLO
+    alerts that fired in that window. Frames come back in stream
+    order: cells as recorded, windows ascending.
+    """
+    frames: Dict[Any, Dict[str, Any]] = {}
+    order: List[Any] = []
+    for snap in stream.get("snapshots", []):
+        if "shard" not in snap or "window" not in snap:
+            continue
+        key = (snap.get("cell"), snap["window"])
+        frame = frames.get(key)
+        if frame is None:
+            frame = frames[key] = {
+                "cell": snap.get("cell"),
+                "window": snap["window"],
+                "ns": snap.get("ns", 0.0),
+                "shards": [],
+                "alerts": [],
+            }
+            order.append(key)
+        frame["shards"].append(snap)
+    for record in stream.get("slo", []):
+        if record.get("type") != "slo_alert":
+            continue
+        key = (record.get("cell"), record.get("window"))
+        if key in frames:
+            frames[key]["alerts"].append(record)
+    out = []
+    for key in order:
+        frame = frames[key]
+        frame["shards"].sort(key=lambda s: s["shard"])
+        out.append(frame)
+    return out
+
+
+def render_frame(frame: Dict[str, Any]) -> str:
+    """One console frame: the per-shard table plus alert lines."""
+    rows = []
+    for snap in frame["shards"]:
+        reqs = snap.get("window_requests", 0)
+        ok = snap.get("window_ok", 0)
+        rows.append({
+            "shard": snap["shard"],
+            "state": snap.get("state", "?"),
+            "queue": snap.get("queue_depth", 0),
+            "stash": snap.get("stash_occupancy", 0),
+            "deadq": snap.get("deadq_depth", 0),
+            "journal": snap.get("journal_depth", 0),
+            "reqs": reqs,
+            "ok_pct": 100.0 * ok / reqs if reqs else 100.0,
+            "krps": snap.get("throughput_rps", 0.0) / 1e3,
+            "p50_us": snap.get("p50_ns", 0.0) / 1e3,
+            "p99_us": snap.get("p99_ns", 0.0) / 1e3,
+        })
+    title = (
+        f"cell {frame['cell']} | window {frame['window']} "
+        f"| t={frame['ns'] / 1e3:.0f}us"
+    )
+    parts = [render_mapping_table(rows, title=title)]
+    for alert in frame["alerts"]:
+        parts.append(
+            f"ALERT {alert['rule']}: value {alert['value']:.4g} vs "
+            f"threshold {alert['threshold']:.4g} "
+            f"(burn {alert['burn']:.2f}x)"
+        )
+    return "\n".join(parts)
+
+
+def render_replay(
+    path: str, max_frames: Optional[int] = None,
+) -> List[str]:
+    """Every frame of one recorded ops stream, rendered."""
+    from repro.telemetry.view import load_stream
+
+    stream = load_stream(path)
+    frames = frames_from_stream(stream)
+    if max_frames is not None:
+        frames = frames[:max_frames]
+    return [render_frame(f) for f in frames]
+
+
+def run_console(
+    path: str,
+    interval: float = 0.0,
+    max_frames: Optional[int] = None,
+    clear: bool = True,
+    out: TextIO = sys.stdout,
+) -> int:
+    """Play an ops stream as a refreshing console; returns frame count.
+
+    ``interval`` seconds between frames (0 renders everything at once,
+    the deterministic mode CI replays); ``clear`` redraws in place via
+    ANSI home+clear when the stream is animated.
+    """
+    rendered = render_replay(path, max_frames=max_frames)
+    for i, frame in enumerate(rendered):
+        if interval > 0 and clear and out.isatty():
+            out.write("\x1b[2J\x1b[H")
+        out.write(frame)
+        out.write("\n")
+        if interval > 0 and i < len(rendered) - 1:
+            out.flush()
+            time.sleep(interval)
+    out.flush()
+    return len(rendered)
+
+
+__all__ = [
+    "OpsSampler",
+    "frames_from_stream",
+    "render_frame",
+    "render_replay",
+    "run_console",
+]

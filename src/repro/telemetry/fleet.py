@@ -1,0 +1,315 @@
+"""Fleet-wide distributed tracing: one merged Perfetto timeline.
+
+A sharded run executes in N spawn-pool worker processes, each on its
+own simulated clock, with a router in the parent deciding where every
+request goes. This module stitches those hops back into a single trace:
+
+- **Trace contexts.** :func:`mint_trace_id` derives a request's trace
+  id purely from ``(seed, rid)``, so the router and the shard worker
+  agree on the id without communicating -- the distributed-tracing
+  trick that keeps the merge deterministic.
+- **Shard fragments.** Each worker returns a picklable
+  :class:`ShardFragment` -- its op spans, completions and resilience
+  events, all stamped in its simulated ns. Nothing host-dependent
+  crosses the process boundary.
+- **The merged document.** :func:`fleet_trace_doc` lays the router,
+  control-plane and SLO tracks on pid 0 and each shard on its own
+  process track (pid ``1 + shard``), and binds every request's router
+  decision to its shard-side service span with a cross-process flow
+  event pair (``ph "s"`` at the route, ``ph "f"`` at the service
+  start) keyed by the minted trace id.
+
+Event order in the emitted array is a pure function of the fragments,
+so a serial run and a ``--workers N`` run of the same config produce
+byte-identical trace files -- CI-gated like every other artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.spans import Span
+
+#: Event categories of the fleet-level tracks.
+CAT_ROUTER = "fleet.router"
+CAT_FLOW = "fleet.flow"
+CAT_CONTROL = "fleet.control"
+
+#: pid 0 thread layout: the router lane, the control-plane timeline,
+#: and the SLO alert timeline.
+ROUTER_TID = 0
+CONTROL_TID = 1
+SLO_TID = 2
+
+
+def mint_trace_id(seed: int, rid: int) -> str:
+    """Deterministic 64-bit trace id for one request.
+
+    Both sides of a process boundary can mint it independently from
+    the fleet seed and the request id -- the fleet-wide analogue of
+    :func:`repro.parallel.executor.derive_seed`.
+    """
+    digest = hashlib.sha256(f"trace:{seed}:{rid}".encode()).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The context the router stamps on a request before dispatch."""
+
+    trace_id: str
+    rid: int
+    shard: int
+
+
+def mint_context(seed: int, rid: int, shard: int) -> TraceContext:
+    return TraceContext(trace_id=mint_trace_id(seed, rid), rid=rid,
+                        shard=shard)
+
+
+@dataclass
+class ShardFragment:
+    """One shard's contribution to the merged fleet trace.
+
+    Everything in here is stamped in the shard's simulated ns and
+    picklable, so fragments cross the spawn-pool boundary unchanged.
+    """
+
+    shard: int
+    completions: List[Any] = field(default_factory=list)
+    spans: List[Span] = field(default_factory=list)
+    #: Resilience-loop timeline events (degraded windows, fault
+    #: markers) in the :mod:`repro.serve.resilience` dict shape.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    start_ns: float = 0.0
+    end_ns: float = 0.0
+
+
+def _meta_event(name: str, pid: int, tid: int, label: str) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": label},
+    }
+
+
+def control_instants(
+    control: Dict[str, Any], tid: int = CONTROL_TID, pid: int = 0,
+) -> List[Dict[str, Any]]:
+    """Health-state transitions as instant events on one timeline.
+
+    ``control`` is a :meth:`~repro.core.sharding.control.ControlPlane
+    .summary` block; each transition becomes one thread-scoped instant
+    named after the state entered, so Perfetto shows the fleet's
+    REGISTERED -> HEALTHY -> DEGRADED -> ... story on a single track.
+    """
+    out: List[Dict[str, Any]] = []
+    marks = []
+    for entry in control.get("shards", []):
+        for t in entry.get("transitions", []):
+            marks.append((t["ns"], entry["shard"], t))
+    for ns, shard, t in sorted(marks, key=lambda m: (m[0], m[1])):
+        out.append({
+            "name": f"shard{shard}:{t['to']}",
+            "cat": CAT_CONTROL,
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": tid,
+            "ts": ns / 1000.0,
+            "args": {
+                "shard": shard,
+                "from": t["from"],
+                "to": t["to"],
+                "event": t["event"],
+            },
+        })
+    return out
+
+
+def _route_events(
+    comp: Any, ctx: TraceContext,
+) -> List[Dict[str, Any]]:
+    """The router-side pair for one request: route span + flow start."""
+    ts = comp.arrival_ns / 1000.0
+    args = {
+        "start_ns": comp.arrival_ns,
+        "dur_ns": 0.0,
+        "trace_id": ctx.trace_id,
+        "rid": comp.rid,
+        "shard": ctx.shard,
+        "op": comp.op,
+    }
+    return [
+        {
+            "name": "route",
+            "cat": CAT_ROUTER,
+            "ph": "X",
+            "pid": 0,
+            "tid": ROUTER_TID,
+            "ts": ts,
+            "dur": 0.0,
+            "args": args,
+        },
+        {
+            "name": "req",
+            "cat": CAT_FLOW,
+            "ph": "s",
+            "id": ctx.trace_id,
+            "pid": 0,
+            "tid": ROUTER_TID,
+            "ts": ts,
+        },
+    ]
+
+
+def _shard_events(
+    frag: ShardFragment, seed: int,
+) -> List[Dict[str, Any]]:
+    """One shard's process track: op spans, request lanes, resilience."""
+    from repro.serve.tracing import (
+        _x_event, assign_lanes, resilience_track_events,
+    )
+    pid = 1 + frag.shard
+    events: List[Dict[str, Any]] = []
+    for name, start_ns, dur_ns in frag.spans:
+        events.append({
+            "name": name,
+            "cat": "oram",
+            "ph": "X",
+            "pid": pid,
+            "tid": 0,
+            "ts": start_ns / 1000.0,
+            "dur": dur_ns / 1000.0,
+            "args": {"start_ns": start_ns, "dur_ns": dur_ns},
+        })
+    lanes = assign_lanes(frag.completions)
+    for comp in frag.completions:
+        tid = lanes[comp.rid] + 1
+        trace_id = mint_trace_id(seed, comp.rid)
+        args = {
+            "trace_id": trace_id,
+            "rid": comp.rid,
+            "op": comp.op,
+            "key": comp.key.decode("latin-1"),
+            "ok": comp.ok,
+            "accesses": comp.accesses,
+            "shard": frag.shard,
+        }
+        if comp.status != "ok":
+            args["status"] = comp.status
+        if comp.degraded:
+            args["degraded"] = True
+        if comp.queue_ns > 0:
+            events.append({
+                **_x_event("queue", "serve.queue", tid,
+                           comp.arrival_ns, comp.queue_ns, args),
+                "pid": pid,
+            })
+        events.append({
+            **_x_event(comp.op, "serve.oram", tid,
+                       comp.start_ns, comp.service_ns, args),
+            "pid": pid,
+        })
+        events.append({
+            "name": "req",
+            "cat": CAT_FLOW,
+            "ph": "f",
+            "bp": "e",
+            "id": trace_id,
+            "pid": pid,
+            "tid": tid,
+            "ts": comp.start_ns / 1000.0,
+        })
+    if frag.events:
+        tid = max(lanes.values(), default=-1) + 2
+        events.extend(
+            {**e, "pid": pid}
+            for e in resilience_track_events(frag.events, tid)
+        )
+    return events
+
+
+def _shard_track_names(frag: ShardFragment) -> Dict[int, str]:
+    from repro.serve.tracing import assign_lanes
+    names = {0: "oram-ops"}
+    lanes = assign_lanes(frag.completions)
+    n_lanes = max(lanes.values(), default=-1) + 1
+    for k in range(n_lanes):
+        names[k + 1] = f"requests-{k}"
+    if frag.events:
+        names[n_lanes + 1] = "resilience"
+    return names
+
+
+def fleet_trace_doc(
+    fragments: Sequence[ShardFragment],
+    seed: int,
+    meta: Optional[Dict[str, Any]] = None,
+    control: Optional[Dict[str, Any]] = None,
+    slo_instants: Optional[Sequence[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """Merge shard fragments into one deterministic Perfetto document.
+
+    Process layout: pid 0 is the fleet front (router lane, control
+    timeline, SLO alert timeline), pid ``1 + shard`` is that shard's
+    worker (op spans on tid 0, request lanes above, the resilience
+    track last). Every request is stitched across the boundary by a
+    flow-event pair keyed on its minted trace id.
+    """
+    fragments = sorted(fragments, key=lambda f: f.shard)
+    events: List[Dict[str, Any]] = [
+        _meta_event("process_name", 0, 0, "fleet-router"),
+        _meta_event("thread_name", 0, ROUTER_TID, "router"),
+        _meta_event("thread_name", 0, CONTROL_TID, "control"),
+        _meta_event("thread_name", 0, SLO_TID, "slo"),
+    ]
+    for frag in fragments:
+        pid = 1 + frag.shard
+        events.append(
+            _meta_event("process_name", pid, 0, f"shard-{frag.shard}")
+        )
+        for tid, label in sorted(_shard_track_names(frag).items()):
+            events.append(_meta_event("thread_name", pid, tid, label))
+    # Router track: every request's dispatch decision, in arrival order
+    # across the whole fleet (rids are fleet-unique tie-breakers).
+    routed = [
+        (comp, mint_context(seed, comp.rid, frag.shard))
+        for frag in fragments for comp in frag.completions
+    ]
+    routed.sort(key=lambda pair: (pair[0].arrival_ns, pair[0].rid))
+    for comp, ctx in routed:
+        events.extend(_route_events(comp, ctx))
+    if control is not None:
+        events.extend(control_instants(control))
+    if slo_instants:
+        events.extend(slo_instants)
+    for frag in fragments:
+        events.extend(_shard_events(frag, seed))
+    doc: Dict[str, Any] = {
+        "displayTimeUnit": "ns",
+        "traceEvents": events,
+    }
+    if meta:
+        doc["otherData"] = dict(meta)
+    return doc
+
+
+__all__ = [
+    "CAT_CONTROL",
+    "CAT_FLOW",
+    "CAT_ROUTER",
+    "CONTROL_TID",
+    "ROUTER_TID",
+    "SLO_TID",
+    "ShardFragment",
+    "TraceContext",
+    "control_instants",
+    "fleet_trace_doc",
+    "mint_context",
+    "mint_trace_id",
+]

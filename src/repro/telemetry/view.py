@@ -18,9 +18,16 @@ from repro.telemetry.metrics import quantiles_from_snapshot
 
 
 def load_stream(path: str) -> Dict[str, Any]:
-    """Parse one JSONL stream into {meta, snapshots, summary}."""
+    """Parse one JSONL stream into {meta, snapshots, slo, summary}.
+
+    Handles both the single-run metrics stream (PR 5) and the fleet
+    ops stream: ``snapshot`` records may carry a ``shard`` field, and
+    ``slo_window`` / ``slo_alert`` records from the streaming SLO
+    engine collect under ``"slo"``.
+    """
     meta: Dict[str, Any] = {}
     snapshots: List[Dict[str, Any]] = []
+    slo: List[Dict[str, Any]] = []
     summary: Dict[str, Any] = {}
     with open(path) as f:
         for line_no, line in enumerate(f, start=1):
@@ -36,13 +43,16 @@ def load_stream(path: str) -> Dict[str, Any]:
                 meta = record
             elif kind == "snapshot":
                 snapshots.append(record)
+            elif kind in ("slo_window", "slo_alert"):
+                slo.append(record)
             elif kind == "summary":
                 summary = record
             else:
                 raise ValueError(
                     f"{path}:{line_no}: unknown record type {kind!r}"
                 )
-    return {"meta": meta, "snapshots": snapshots, "summary": summary}
+    return {"meta": meta, "snapshots": snapshots, "slo": slo,
+            "summary": summary}
 
 
 def _span_rows(summary: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -128,6 +138,103 @@ def _snapshot_rows(snapshots: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     return rows
 
 
+def _fleet_snapshot_rows(
+    snapshots: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-shard columns for a multi-shard ops stream.
+
+    A fleet stream interleaves every shard's snapshots; summing them
+    into one column (what :func:`_snapshot_rows` would effectively do)
+    hides exactly the skew a fleet view exists to show, so each shard
+    gets its own ``s<k>`` column, one metric per row.
+    """
+    by_shard: Dict[int, List[Dict[str, Any]]] = {}
+    for snap in snapshots:
+        by_shard.setdefault(int(snap["shard"]), []).append(snap)
+    shards = sorted(by_shard)
+    metrics = (
+        ("state", "state", None),
+        ("queue_depth", "queue (peak)", max),
+        ("stash_occupancy", "stash (peak)", max),
+        ("deadq_depth", "deadq (peak)", max),
+        ("journal_depth", "journal (peak)", max),
+        ("requests", "requests", None),
+        ("throughput_rps", "last_krps", None),
+        ("p99_ns", "last_p99_us", None),
+    )
+    rows: List[Dict[str, Any]] = []
+    for key, label, agg in metrics:
+        row: Dict[str, Any] = {"metric": label}
+        seen = False
+        for shard in shards:
+            stream = by_shard[shard]
+            last = stream[-1].get(key)
+            if last is None:
+                continue
+            seen = True
+            if key == "throughput_rps":
+                row[f"s{shard}"] = f"{last / 1e3:.1f}"
+            elif key == "p99_ns":
+                row[f"s{shard}"] = f"{last / 1e3:.1f}"
+            elif agg is not None:
+                peak = agg(s.get(key, 0) for s in stream)
+                row[f"s{shard}"] = f"{last} ({peak})"
+            else:
+                row[f"s{shard}"] = last
+        if seen:
+            rows.append(row)
+    return rows
+
+
+def _slo_window_rows(slo: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One summary row per cell over its closed SLO windows.
+
+    Alerts are the exceptional signal; the window summary is what shows
+    a *healthy* stream actually streamed -- windows closed, budget
+    burned (or not) -- so the view never renders an SLO stream as
+    nothing but its meta header.
+    """
+    by_cell: Dict[Any, List[Dict[str, Any]]] = {}
+    for record in slo:
+        if record.get("type") == "slo_window":
+            by_cell.setdefault(record.get("cell", "-"), []).append(record)
+    rows: List[Dict[str, Any]] = []
+    for cell, windows in by_cell.items():
+        burns: Dict[str, float] = {}
+        for w in windows:
+            for rule, burn in w.get("burn", {}).items():
+                burns[rule] = max(burns.get(rule, 0.0), float(burn))
+        worst = max(burns.items(), key=lambda kv: kv[1]) if burns else None
+        rows.append({
+            "cell": cell,
+            "windows": len(windows),
+            "requests": sum(int(w.get("requests", 0)) for w in windows),
+            "min_avail": min(float(w.get("availability", 1.0))
+                             for w in windows),
+            "max_p99_us": max(float(w.get("p99_ns", 0.0))
+                              for w in windows) / 1e3,
+            "worst_burn": (f"{worst[1]:.3g}x {worst[0]}"
+                           if worst else "-"),
+        })
+    return rows
+
+
+def _slo_rows(slo: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for record in slo:
+        if record.get("type") != "slo_alert":
+            continue
+        rows.append({
+            "rule": record.get("rule"),
+            "cell": record.get("cell", "-"),
+            "window": record.get("window"),
+            "value": record.get("value"),
+            "threshold": record.get("threshold"),
+            "burn": record.get("burn"),
+        })
+    return rows
+
+
 def render_stream(path: str) -> str:
     """The ``repro telemetry view`` text report for one JSONL stream."""
     stream = load_stream(path)
@@ -139,10 +246,35 @@ def render_stream(path: str) -> str:
     if span_rows:
         parts.append(render_mapping_table(
             span_rows, title="Operation spans (DRAM-model ns)"))
-    snap_rows = _snapshot_rows(stream["snapshots"])
+    fleet = [s for s in stream["snapshots"] if "shard" in s]
+    if fleet:
+        cells = []
+        for snap in fleet:
+            cell = snap.get("cell")
+            if cell not in cells:
+                cells.append(cell)
+        for cell in cells:
+            subset = [s for s in fleet if s.get("cell") == cell]
+            rows = _fleet_snapshot_rows(subset)
+            if rows:
+                title = ("Fleet snapshots (last / peak), per shard"
+                         if cell is None else
+                         f"Fleet snapshots: {cell} (last / peak), per shard")
+                parts.append(render_mapping_table(rows, title=title))
+    snap_rows = _snapshot_rows(
+        [s for s in stream["snapshots"] if "shard" not in s]
+    )
     if snap_rows:
         parts.append(render_mapping_table(
             snap_rows, title="State snapshots (last / peak over stream)"))
+    window_rows = _slo_window_rows(stream.get("slo", []))
+    if window_rows:
+        parts.append(render_mapping_table(
+            window_rows, title="SLO windows (per cell, worst over stream)"))
+    slo_rows = _slo_rows(stream.get("slo", []))
+    if slo_rows:
+        parts.append(render_mapping_table(
+            slo_rows, title="SLO alerts (error-budget burn)"))
     counters = stream["summary"].get("metrics", {}).get("counters", {})
     event_rows = [
         {"counter": name, "count": value}

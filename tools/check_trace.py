@@ -6,15 +6,24 @@ the document shape (``traceEvents`` array, ``displayTimeUnit``), checks
 every event against the trace-event format rules the exporters promise
 (complete "X" events with numeric non-negative ``ts``/``dur``, matching
 ``args.start_ns``/``args.dur_ns``; thread-scoped "i" instants for the
-resilience timeline markers), and optionally requires specific
-operation kinds to be present (``--require-kinds readPath evictPath``).
+resilience timeline and SLO alert markers; "s"/"f" flow-event pairs
+stitching router decisions to shard-side service spans), and optionally
+requires specific operation kinds (``--require-kinds readPath``),
+matched flow bindings (``--require-flows N``) or named process tracks
+(``--require-process fleet-router shard-0``) to be present.
+
+Flow rules for merged fleet traces: every flow event needs a ``name``,
+``cat``, ``id`` and a non-negative numeric ``ts``; a finish ("f") must
+reference a ``(cat, id)`` some start ("s") opened, and every pid that
+carries X/i events must be named by a ``process_name`` metadata event.
 
 Dependency-free by design so it runs in any environment CI does; also
 importable (``validate_trace``) from the test suite.
 
 Usage: ``python tools/check_trace.py TRACE.json
-[--require-kinds KIND ...] [--min-spans N]`` -- exits non-zero with one
-line per finding when the trace is invalid.
+[--require-kinds KIND ...] [--min-spans N] [--require-flows N]
+[--require-process NAME ...]`` -- exits non-zero with one line per
+finding when the trace is invalid.
 """
 
 from __future__ import annotations
@@ -26,6 +35,9 @@ from typing import Any, Dict, List, Sequence
 
 #: Fields every complete ("X") span event must carry.
 _SPAN_FIELDS = ("name", "ph", "pid", "tid", "ts", "dur")
+
+#: Fields every flow ("s"/"f") event must carry.
+_FLOW_FIELDS = ("name", "cat", "id", "pid", "tid", "ts")
 
 
 def _check_span(event: Dict[str, Any], where: str, errors: List[str]) -> None:
@@ -57,10 +69,26 @@ def _check_span(event: Dict[str, Any], where: str, errors: List[str]) -> None:
             )
 
 
+def _check_flow(event: Dict[str, Any], where: str, errors: List[str]) -> None:
+    for field in _FLOW_FIELDS:
+        if field not in event:
+            errors.append(f"{where}: flow event missing field {field!r}")
+            return
+    ts = event["ts"]
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        errors.append(f"{where}: flow ts must be a non-negative number, "
+                      f"got {ts!r}")
+    if event["ph"] == "f" and event.get("bp") not in (None, "e"):
+        errors.append(f"{where}: flow finish binding point must be 'e' "
+                      f"when present, got {event.get('bp')!r}")
+
+
 def validate_trace(
     doc: Any,
     require_kinds: Sequence[str] = (),
     min_spans: int = 1,
+    require_flows: int = 0,
+    require_process: Sequence[str] = (),
 ) -> List[str]:
     """All findings for one parsed trace document; empty means valid."""
     errors: List[str] = []
@@ -76,6 +104,11 @@ def validate_trace(
         )
     spans = 0
     kinds = set()
+    process_names: Dict[Any, str] = {}
+    event_pids = set()
+    flow_starts = set()
+    flow_finishes: List[tuple] = []
+    matched_flows = 0
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):
@@ -85,8 +118,15 @@ def validate_trace(
         if ph == "M":                      # metadata events: name + args
             if "name" not in event:
                 errors.append(f"{where}: metadata event without a name")
+            elif event["name"] == "process_name":
+                label = event.get("args", {}).get("name")
+                if not label:
+                    errors.append(f"{where}: process_name metadata "
+                                  "without args.name")
+                else:
+                    process_names[event.get("pid")] = label
             continue
-        if ph == "i":                     # instant markers (resilience)
+        if ph == "i":          # instant markers (resilience, SLO alerts)
             if "name" not in event:
                 errors.append(f"{where}: instant event without a name")
             elif event.get("s") not in (None, "t", "p", "g"):
@@ -99,14 +139,30 @@ def validate_trace(
                     errors.append(f"{where}: instant ts must be a "
                                   f"non-negative number, got {ts!r}")
                 kinds.add(event.get("name"))
+                event_pids.add(event.get("pid"))
+            continue
+        if ph in ("s", "f"):              # flow bindings (fleet traces)
+            _check_flow(event, where, errors)
+            key = (event.get("cat"), event.get("id"))
+            if ph == "s":
+                flow_starts.add(key)
+            else:
+                flow_finishes.append((where, key))
             continue
         if ph != "X":
             errors.append(f"{where}: unexpected phase {ph!r} "
-                          "(exporter emits only X, i and M events)")
+                          "(exporter emits only X, i, M, s and f events)")
             continue
         spans += 1
         kinds.add(event.get("name"))
+        event_pids.add(event.get("pid"))
         _check_span(event, where, errors)
+    for where, key in flow_finishes:
+        if key in flow_starts:
+            matched_flows += 1
+        else:
+            errors.append(f"{where}: flow finish {key!r} has no matching "
+                          "flow start")
     if spans < min_spans:
         errors.append(f"expected at least {min_spans} span events, "
                       f"found {spans}")
@@ -114,6 +170,20 @@ def validate_trace(
         if kind not in kinds:
             errors.append(f"required operation kind {kind!r} has no spans "
                           f"(present: {sorted(k for k in kinds if k)})")
+    if matched_flows < require_flows:
+        errors.append(f"expected at least {require_flows} matched flow "
+                      f"pairs, found {matched_flows}")
+    if flow_starts or require_process:
+        # A trace with flows (or an explicit ask) is a fleet trace:
+        # every process that carries events must be named.
+        for pid in sorted(event_pids, key=repr):
+            if pid not in process_names:
+                errors.append(f"pid {pid!r} carries events but has no "
+                              "process_name metadata")
+    for name in require_process:
+        if name not in process_names.values():
+            errors.append(f"required process track {name!r} missing "
+                          f"(present: {sorted(process_names.values())})")
     return errors
 
 
@@ -126,6 +196,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "(e.g. readPath evictPath earlyReshuffle)")
     parser.add_argument("--min-spans", type=int, default=1,
                         help="minimum number of span events (default: 1)")
+    parser.add_argument("--require-flows", type=int, default=0, metavar="N",
+                        help="minimum number of matched s/f flow pairs "
+                             "(fleet traces; default: 0)")
+    parser.add_argument("--require-process", nargs="+", default=(),
+                        metavar="NAME",
+                        help="process tracks that must be named by "
+                             "process_name metadata (e.g. fleet-router "
+                             "shard-0)")
     args = parser.parse_args(argv)
     try:
         with open(args.trace) as f:
@@ -134,14 +212,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"{args.trace}: {exc}", file=sys.stderr)
         return 2
     errors = validate_trace(doc, require_kinds=args.require_kinds,
-                            min_spans=args.min_spans)
+                            min_spans=args.min_spans,
+                            require_flows=args.require_flows,
+                            require_process=args.require_process)
     for error in errors:
         print(f"{args.trace}: {error}", file=sys.stderr)
     if errors:
         return 1
     spans = sum(1 for e in doc["traceEvents"]
                 if isinstance(e, dict) and e.get("ph") == "X")
-    print(f"{args.trace}: valid trace ({spans} spans)")
+    flows = sum(1 for e in doc["traceEvents"]
+                if isinstance(e, dict) and e.get("ph") == "s")
+    extra = f", {flows} flows" if flows else ""
+    print(f"{args.trace}: valid trace ({spans} spans{extra})")
     return 0
 
 

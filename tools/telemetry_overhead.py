@@ -11,8 +11,16 @@ Best-of-N on an otherwise idle runner keeps the measurement stable: the
 minimum is the least-noisy estimator of the true cost, and both
 configurations run interleaved so frequency drift hits them equally.
 
+``--serve`` adds a second measurement over the resilient serving loop:
+the same seeded workload served twice, once bare and once with the
+fleet observability plane attached (per-window ops sampling plus the
+streaming SLO fold over the completions) -- the bound the obs-smoke CI
+job enforces, because samplers that only *read* must also only barely
+*cost*.
+
 Usage: ``PYTHONPATH=src python tools/telemetry_overhead.py
-[--levels 10] [--requests 600] [--repeats 3] [--max-overhead-pct 10]``
+[--levels 10] [--requests 600] [--repeats 3] [--max-overhead-pct 10]
+[--serve]``
 """
 
 from __future__ import annotations
@@ -21,6 +29,49 @@ import argparse
 import sys
 import time
 from typing import Sequence
+
+
+def _run_serve_once(levels: int, requests: int, seed: int,
+                    telemetry: bool) -> float:
+    from repro.serve.loadgen import (
+        WorkloadConfig, generate_requests, initial_items,
+    )
+    from repro.serve.resilience import ResilienceConfig, resilient_replay
+    from repro.serve.scheduler import BatchScheduler
+    from repro.serve.stack import build_stack
+    from repro.telemetry import (
+        OpsSampler, SloEngine, default_slo_rules, fold_completions,
+    )
+
+    wl = WorkloadConfig(
+        name="overhead", n_requests=requests, n_keys=4_000,
+        stored_keys=64, arrival="poisson", rate_rps=1_000_000.0,
+        zipf_s=0.9, read_fraction=0.8, delete_fraction=0.02,
+        value_bytes=40, expect_dedup=False, seed=seed,
+    )
+    stack = build_stack(scheme="ab", levels=levels, seed=seed,
+                        observer=True)
+    for key, value in initial_items(wl):
+        stack.kv.put(key, value)
+    reqs = list(generate_requests(wl))
+    scheduler = BatchScheduler(stack.kv, policy="batch", seed=seed,
+                               clock=lambda: stack.dram_sink.now)
+    sampler = (
+        OpsSampler("overhead", 0, 50_000.0, stack) if telemetry else None
+    )
+    t0 = time.perf_counter()
+    result = resilient_replay(
+        stack, reqs, scheduler, ResilienceConfig(), sampler=sampler,
+    )
+    if telemetry:
+        engine = SloEngine(default_slo_rules(), window_ns=50_000.0)
+        fold_completions(engine, result.completions)
+        engine.finish(result.end_ns)
+    wall = time.perf_counter() - t0
+    if telemetry and not sampler.records:
+        raise SystemExit("observability run recorded no ops snapshots")
+    assert result.completions
+    return wall
 
 
 def _run_once(levels: int, requests: int, seed: int, telemetry: bool,
@@ -64,26 +115,35 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "controller at this depth (the ns scheme, "
                              "whose reshuffle drain the pipeline overlaps); "
                              "1 = serial only (default)")
+    parser.add_argument("--serve", action="store_true",
+                        help="also measure the fleet observability plane "
+                             "(ops sampling + streaming SLO fold) over the "
+                             "resilient serving loop")
     args = parser.parse_args(argv)
 
     configs = [("serial", 1)]
     if args.pipeline_depth > 1:
         configs.append((f"pipelined(d={args.pipeline_depth})",
                         args.pipeline_depth))
+    if args.serve:
+        configs.append(("serve-observability", 0))
     failed = False
     for label, depth in configs:
+        if depth == 0:
+            def measure(telemetry: bool) -> float:
+                return _run_serve_once(args.levels, args.requests,
+                                       args.seed, telemetry)
+        else:
+            def measure(telemetry: bool, _depth: int = depth) -> float:
+                return _run_once(args.levels, args.requests, args.seed,
+                                 telemetry, pipeline_depth=_depth)
         # One throwaway run to warm imports, trace caches and the
         # allocator before anything is timed.
-        _run_once(args.levels, args.requests, args.seed, telemetry=False,
-                  pipeline_depth=depth)
+        measure(False)
         best_off = best_on = float("inf")
         for _ in range(max(1, args.repeats)):
-            best_off = min(best_off, _run_once(
-                args.levels, args.requests, args.seed, telemetry=False,
-                pipeline_depth=depth))
-            best_on = min(best_on, _run_once(
-                args.levels, args.requests, args.seed, telemetry=True,
-                pipeline_depth=depth))
+            best_off = min(best_off, measure(False))
+            best_on = min(best_on, measure(True))
         overhead_pct = 100.0 * (best_on - best_off) / best_off
         print(f"[{label}] telemetry off: {best_off * 1e3:.1f} ms   "
               f"on: {best_on * 1e3:.1f} ms   "
